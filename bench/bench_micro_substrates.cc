@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark) for the substrate operations whose
+// constants sit behind Table 1: tokenization, Neighbor List construction,
+// Token Blocking, the Profile Index operations (LeCoBI / Edge Weighting)
+// and the two match functions of Sec. 7.3.
+//
+//   $ ./bench_micro_substrates [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include "blocking/profile_index.h"
+#include "blocking/token_blocking.h"
+#include "core/tokenizer.h"
+#include "datagen/datagen.h"
+#include "matching/jaccard.h"
+#include "matching/levenshtein.h"
+#include "matching/match_function.h"
+#include "metablocking/edge_weighting.h"
+#include "sorted/neighbor_list.h"
+#include "sorted/position_index.h"
+
+namespace {
+
+using namespace sper;
+
+const DatasetBundle& Restaurant() {
+  static const DatasetBundle dataset = [] {
+    Result<DatasetBundle> r = GenerateDataset("restaurant");
+    SPER_CHECK(r.ok());
+    return std::move(r).value();
+  }();
+  return dataset;
+}
+
+const DatasetBundle& MoviesSample() {
+  static const DatasetBundle dataset = [] {
+    DatagenOptions options;
+    options.scale = 0.2;
+    Result<DatasetBundle> r = GenerateDataset("movies", options);
+    SPER_CHECK(r.ok());
+    return std::move(r).value();
+  }();
+  return dataset;
+}
+
+void BM_TokenizeValue(benchmark::State& state) {
+  const std::string value =
+      "http://dbpedia.org/resource/Progressive_Entity_Resolution_2018";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenizeValue(value));
+  }
+}
+BENCHMARK(BM_TokenizeValue);
+
+void BM_DistinctProfileTokens(benchmark::State& state) {
+  const Profile& profile = Restaurant().store.profile(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistinctProfileTokens(profile));
+  }
+}
+BENCHMARK(BM_DistinctProfileTokens);
+
+void BM_TokenBlocking(benchmark::State& state) {
+  const ProfileStore& store = Restaurant().store;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenBlocking(store));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(store.size()));
+}
+BENCHMARK(BM_TokenBlocking);
+
+void BM_NeighborListBuild(benchmark::State& state) {
+  const ProfileStore& store = Restaurant().store;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NeighborList::BuildSchemaAgnostic(store));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(store.size()));
+}
+BENCHMARK(BM_NeighborListBuild);
+
+void BM_PositionIndexBuild(benchmark::State& state) {
+  const ProfileStore& store = Restaurant().store;
+  const NeighborList list = NeighborList::BuildSchemaAgnostic(store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PositionIndex(list, store.size()));
+  }
+}
+BENCHMARK(BM_PositionIndexBuild);
+
+void BM_LeCoBI(benchmark::State& state) {
+  const ProfileStore& store = MoviesSample().store;
+  static const BlockCollection blocks = TokenBlocking(store);
+  static const ProfileIndex index(blocks, store.size());
+  ProfileId a = 0, b = static_cast<ProfileId>(store.split_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.LeastCommonBlock(a, b));
+    a = (a + 7) % store.split_index();
+    b = store.split_index() +
+        (b + 13) % static_cast<ProfileId>(store.source2_size());
+  }
+}
+BENCHMARK(BM_LeCoBI);
+
+void BM_ArcsEdgeWeight(benchmark::State& state) {
+  const ProfileStore& store = MoviesSample().store;
+  static const BlockCollection blocks = TokenBlocking(store);
+  static const ProfileIndex index(blocks, store.size());
+  static const EdgeWeighter weighter(blocks, index, store,
+                                     WeightingScheme::kArcs);
+  ProfileId a = 0, b = static_cast<ProfileId>(store.split_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(weighter.Weight(a, b));
+    a = (a + 7) % store.split_index();
+    b = store.split_index() +
+        (b + 13) % static_cast<ProfileId>(store.source2_size());
+  }
+}
+BENCHMARK(BM_ArcsEdgeWeight);
+
+void BM_EditDistanceMatch(benchmark::State& state) {
+  const ProfileStore& store = Restaurant().store;
+  static const EditDistanceMatch match(store);
+  ProfileId a = 0, b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match.Similarity(a, b));
+    a = (a + 3) % store.size();
+    b = (b + 11) % store.size();
+  }
+}
+BENCHMARK(BM_EditDistanceMatch);
+
+void BM_JaccardMatch(benchmark::State& state) {
+  const ProfileStore& store = Restaurant().store;
+  static const JaccardMatch match(store);
+  ProfileId a = 0, b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match.Similarity(a, b));
+    a = (a + 3) % store.size();
+    b = (b + 11) % store.size();
+  }
+}
+BENCHMARK(BM_JaccardMatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

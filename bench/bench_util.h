@@ -1,0 +1,119 @@
+#ifndef SPER_BENCH_BENCH_UTIL_H_
+#define SPER_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-reproduction bench binaries: light CLI
+// parsing (--scale / --ecmax), per-dataset method configuration (the
+// paper's Sec. 7 parameter choices), recall-curve table printing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "eval/evaluator.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+namespace sper {
+namespace bench {
+
+/// Command-line knobs shared by the bench binaries.
+struct BenchArgs {
+  /// Multiplies dataset sizes (1.0 = the scale documented in DESIGN.md).
+  double scale = 1.0;
+  /// Overrides the run's ec* cap when > 0.
+  double ecmax = 0.0;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--ecmax=", 8) == 0) {
+      args.ecmax = std::atof(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale=S] [--ecmax=E]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+/// The paper's GS-PSN window ranges: 20 for structured datasets, 200 for
+/// the large heterogeneous ones — except that the two web-scale datasets
+/// get smaller ranges, mirroring the paper's own memory cap on freebase
+/// (Sec. 7.2; see DESIGN.md §4).
+inline MethodConfig ConfigFor(const std::string& dataset) {
+  MethodConfig config;
+  if (dataset == "movies") {
+    config.gs_wmax = 200;
+  } else if (dataset == "dbpedia") {
+    config.gs_wmax = 50;
+  } else if (dataset == "freebase") {
+    config.gs_wmax = 20;
+  } else {
+    config.gs_wmax = 20;  // structured datasets
+  }
+  return config;
+}
+
+/// Recall of a finished run at a given ec* (the curve is sampled densely
+/// and recall is monotone, so the last sample at or before the target is
+/// exact up to sampling resolution).
+inline double RecallAt(const RunResult& result, double ecstar) {
+  double recall = 0.0;
+  for (const CurvePoint& point : result.curve) {
+    if (point.ecstar <= ecstar + 1e-9) {
+      recall = point.recall;
+    } else {
+      break;
+    }
+  }
+  return recall;
+}
+
+/// Prints one "recall progressiveness" table: rows = ec* grid, one column
+/// per finished run (the shape of one panel of Figs. 1/9/11).
+inline void PrintRecallTable(const std::string& title,
+                             const std::vector<double>& grid,
+                             const std::vector<RunResult>& runs) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::string> headers = {"ec*"};
+  for (const RunResult& run : runs) headers.push_back(run.method);
+  TextTable table(headers);
+  for (double ecstar : grid) {
+    std::vector<std::string> row = {FormatDouble(ecstar, 1)};
+    for (const RunResult& run : runs) {
+      row.push_back(FormatDouble(RecallAt(run, ecstar), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+/// Prints the normalized-AUC table of one dataset (one group of bars of
+/// Figs. 10/12).
+inline void PrintAucTable(const std::string& title,
+                          const std::vector<double>& auc_at,
+                          const std::vector<RunResult>& runs) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::string> headers = {"method"};
+  for (double at : auc_at) {
+    headers.push_back("AUC*@" + FormatDouble(at, 0));
+  }
+  TextTable table(headers);
+  for (const RunResult& run : runs) {
+    std::vector<std::string> row = {run.method};
+    for (double auc : run.auc_norm) row.push_back(FormatDouble(auc, 3));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace bench
+}  // namespace sper
+
+#endif  // SPER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Clean-Clean ER across two heterogeneous sources: an IMDB-like and a
+// DBpedia-like movie catalog with different schemas (4 vs 7 attributes).
+// No schema alignment is performed — the schema-agnostic methods never
+// look at attribute names. PPS emits cross-source candidate pairs
+// best-first; progressive recall is reported at increasing budgets.
+//
+//   $ ./cross_source_linkage [scale]   (default 0.2 of the paper's 28k x 23k)
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "datagen/datagen.h"
+#include "eval/table.h"
+#include "progressive/pps.h"
+#include "progressive/workflow.h"
+
+int main(int argc, char** argv) {
+  using namespace sper;
+
+  DatagenOptions gen;
+  gen.scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+  Result<DatasetBundle> dataset = GenerateDataset("movies", gen);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const ProfileStore& store = dataset.value().store;
+  const GroundTruth& truth = dataset.value().truth;
+  std::printf("source 1 (IMDB-like):    %zu films\n", store.source1_size());
+  std::printf("source 2 (DBpedia-like): %zu films\n", store.source2_size());
+  std::printf("true cross-source matches: %zu\n\n", truth.num_matches());
+
+  // The Token Blocking Workflow (Sec. 7): blocking + purging + filtering.
+  BlockCollection blocks = BuildTokenWorkflowBlocks(store);
+  std::printf("workflow blocks: %zu (%llu candidate comparisons, vs %llu "
+              "brute force)\n\n",
+              blocks.size(),
+              static_cast<unsigned long long>(blocks.AggregateCardinality()),
+              static_cast<unsigned long long>(
+                  static_cast<std::uint64_t>(store.source1_size()) *
+                  store.source2_size()));
+
+  PpsEmitter pps(store, blocks);
+
+  TextTable table({"ec* (comparisons / matches)", "recall"});
+  const double num_matches = static_cast<double>(truth.num_matches());
+  std::size_t emitted = 0, found = 0;
+  for (double target : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const std::size_t ec_target =
+        static_cast<std::size_t>(target * num_matches);
+    while (emitted < ec_target) {
+      std::optional<Comparison> c = pps.Next();
+      if (!c.has_value()) break;
+      ++emitted;
+      if (truth.AreMatching(c->i, c->j)) ++found;
+    }
+    table.AddRow({FormatDouble(target, 1),
+                  FormatDouble(static_cast<double>(found) / num_matches, 3)});
+  }
+  table.Print();
+  std::printf("\nMost matches arrive within the first ~1-2x|D_P| "
+              "comparisons — the pay-as-you-go property.\n");
+  return 0;
+}

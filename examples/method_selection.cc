@@ -1,0 +1,67 @@
+// Method selection in practice (the paper's Sec. 8 guidelines): run the
+// four advanced schema-agnostic methods on a curated structured dataset
+// and on an RDF-style one, and watch the similarity/equality split emerge:
+//
+//   - structured, character-level noise  -> similarity-based LS/GS-PSN win;
+//   - URI-heavy semi-structured data     -> equality-based PBS/PPS win.
+//
+//   $ ./method_selection
+
+#include <cstdio>
+
+#include "datagen/datagen.h"
+#include "eval/evaluator.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+namespace {
+
+void Report(const sper::DatasetBundle& dataset, double ecstar_max) {
+  using namespace sper;
+  std::printf("--- %s: %zu profiles, %zu matches ---\n",
+              dataset.name.c_str(), dataset.store.size(),
+              dataset.truth.num_matches());
+  EvalOptions options;
+  options.ecstar_max = ecstar_max;
+  options.auc_at = {1.0, 5.0};
+  ProgressiveEvaluator evaluator(dataset.truth, options);
+  MethodConfig config;
+
+  TextTable table({"method", "AUC*@1", "AUC*@5", "recall@end"});
+  for (MethodId id : {MethodId::kLsPsn, MethodId::kGsPsn, MethodId::kPbs,
+                      MethodId::kPps}) {
+    RunResult result = evaluator.Run(
+        [&] { return MakeEmitter(id, dataset, config); });
+    table.AddRow({std::string(ToString(id)),
+                  FormatDouble(result.auc_norm[0], 3),
+                  FormatDouble(result.auc_norm[1], 3),
+                  FormatDouble(result.final_recall, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace sper;
+
+  // A curated structured dataset: character-level typos only.
+  Result<DatasetBundle> restaurant = GenerateDataset("restaurant");
+  if (!restaurant.ok()) return 1;
+  Report(restaurant.value(), 10.0);
+
+  // An RDF-style dataset sample: URI boilerplate and opaque identifiers.
+  DatagenOptions gen;
+  gen.scale = 0.05;
+  Result<DatasetBundle> freebase = GenerateDataset("freebase", gen);
+  if (!freebase.ok()) return 1;
+  Report(freebase.value(), 10.0);
+
+  std::printf(
+      "Guideline (paper Sec. 8): similarity-based methods only for curated\n"
+      "structured data; equality-based methods are robust everywhere —\n"
+      "PBS when the time budget is very tight (cheapest initialization),\n"
+      "PPS otherwise.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#ifndef SPER_BLOCKING_BLOCK_H_
+#define SPER_BLOCKING_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+/// \file block.h
+/// One block b_i: the set of profiles indexed under one blocking key.
+
+namespace sper {
+
+/// A block: the profiles that share one blocking key. Profile ids are kept
+/// sorted ascending, which lets Clean-Clean ER partition a block into its
+/// source-1 prefix and source-2 suffix with one binary search.
+struct Block {
+  /// The blocking key that produced the block (attribute-value token,
+  /// suffix, or schema-based key). Kept for inspection and determinism.
+  std::string key;
+  /// Member profile ids, sorted ascending, no duplicates.
+  std::vector<ProfileId> profiles;
+
+  /// |b_i|: number of profiles in the block.
+  std::size_t size() const { return profiles.size(); }
+};
+
+}  // namespace sper
+
+#endif  // SPER_BLOCKING_BLOCK_H_

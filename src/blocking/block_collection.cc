@@ -1,0 +1,36 @@
+#include "blocking/block_collection.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sper {
+
+std::uint64_t BlockCollection::ComputeCardinality(const Block& block) const {
+  const std::vector<ProfileId>& ps = block.profiles;
+  if (er_type_ == ErType::kDirty) {
+    const std::uint64_t n = ps.size();
+    return n * (n - 1) / 2;
+  }
+  const auto first2 = std::lower_bound(ps.begin(), ps.end(), split_index_);
+  const std::uint64_t n1 = static_cast<std::uint64_t>(first2 - ps.begin());
+  const std::uint64_t n2 = ps.size() - n1;
+  return n1 * n2;
+}
+
+BlockId BlockCollection::Add(Block block) {
+  SPER_DCHECK(std::is_sorted(block.profiles.begin(), block.profiles.end()));
+  const std::uint64_t card = ComputeCardinality(block);
+  blocks_.push_back(std::move(block));
+  cardinalities_.push_back(card);
+  aggregate_cardinality_ += card;
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+double BlockCollection::MeanBlockSize() const {
+  if (blocks_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const Block& b : blocks_) total += b.size();
+  return static_cast<double>(total) / static_cast<double>(blocks_.size());
+}
+
+}  // namespace sper

@@ -1,0 +1,92 @@
+#ifndef SPER_BLOCKING_BLOCK_COLLECTION_H_
+#define SPER_BLOCKING_BLOCK_COLLECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/block.h"
+#include "core/macros.h"
+#include "core/types.h"
+
+/// \file block_collection.h
+/// A block collection B with its aggregate statistics (paper Sec. 3):
+/// |B| (number of blocks) and ||B|| (total comparisons).
+
+namespace sper {
+
+/// An ordered collection of blocks plus the ER-task geometry needed to
+/// count comparisons (ER type and Clean-Clean split index). Block ids are
+/// positions in the collection; Block Scheduling reorders the collection so
+/// that ids equal processing rank.
+class BlockCollection {
+ public:
+  /// Creates an empty collection for a task with the given geometry.
+  /// `split_index` must equal the store's split index (== |P| for Dirty).
+  BlockCollection(ErType er_type, ProfileId split_index)
+      : er_type_(er_type), split_index_(split_index) {}
+
+  /// Appends a block (profiles must be sorted ascending) and caches its
+  /// cardinality. Returns the new block's id.
+  BlockId Add(Block block);
+
+  /// |B|: number of blocks.
+  std::size_t size() const { return blocks_.size(); }
+
+  bool empty() const { return blocks_.empty(); }
+
+  /// The block with the given id.
+  const Block& block(BlockId id) const { return blocks_[id]; }
+
+  /// All blocks, id order.
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// ||b_id||: comparisons the block yields — C(|b|,2) for Dirty ER,
+  /// |b ∩ P1| * |b ∩ P2| for Clean-Clean ER.
+  std::uint64_t Cardinality(BlockId id) const { return cardinalities_[id]; }
+
+  /// ||B||: the aggregate cardinality, Σ ||b_i||.
+  std::uint64_t AggregateCardinality() const { return aggregate_cardinality_; }
+
+  /// Mean block size |b̄| = Σ|b| / |B|.
+  double MeanBlockSize() const;
+
+  /// The ER form this collection was built for.
+  ErType er_type() const { return er_type_; }
+
+  /// First source-2 profile id (== |P| for Dirty ER).
+  ProfileId split_index() const { return split_index_; }
+
+  /// Invokes `fn(i, j)` for every valid comparison of block `id`: all
+  /// unordered pairs for Dirty ER, cross-source pairs for Clean-Clean ER.
+  /// Pairs are visited in a deterministic order.
+  template <typename Fn>
+  void ForEachComparison(BlockId id, Fn&& fn) const {
+    const std::vector<ProfileId>& ps = blocks_[id].profiles;
+    if (er_type_ == ErType::kDirty) {
+      for (std::size_t x = 0; x < ps.size(); ++x) {
+        for (std::size_t y = x + 1; y < ps.size(); ++y) fn(ps[x], ps[y]);
+      }
+    } else {
+      // Sorted ids: the source-1 members form a prefix.
+      std::size_t first2 = 0;
+      while (first2 < ps.size() && ps[first2] < split_index_) ++first2;
+      for (std::size_t x = 0; x < first2; ++x) {
+        for (std::size_t y = first2; y < ps.size(); ++y) fn(ps[x], ps[y]);
+      }
+    }
+  }
+
+  /// Computes the cardinality a block would have under this geometry.
+  std::uint64_t ComputeCardinality(const Block& block) const;
+
+ private:
+  ErType er_type_;
+  ProfileId split_index_;
+  std::vector<Block> blocks_;
+  std::vector<std::uint64_t> cardinalities_;
+  std::uint64_t aggregate_cardinality_ = 0;
+};
+
+}  // namespace sper
+
+#endif  // SPER_BLOCKING_BLOCK_COLLECTION_H_

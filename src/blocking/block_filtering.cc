@@ -1,0 +1,61 @@
+#include "blocking/block_filtering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sper {
+
+BlockCollection BlockFiltering(const BlockCollection& input,
+                               const BlockFilteringOptions& options) {
+  // Pass 1: collect, per profile, the blocks it appears in.
+  std::unordered_map<ProfileId, std::vector<BlockId>> profile_blocks;
+  for (BlockId b = 0; b < input.size(); ++b) {
+    for (ProfileId p : input.block(b).profiles) {
+      profile_blocks[p].push_back(b);
+    }
+  }
+
+  // Pass 2: per profile, mark the ceil(ratio*|B_i|) smallest blocks as
+  // kept. Ties by size break on block id so the result is deterministic.
+  std::unordered_map<std::uint64_t, bool> keep;  // (profile, block) -> kept
+  keep.reserve(profile_blocks.size() * 4);
+  auto slot = [](ProfileId p, BlockId b) {
+    return (static_cast<std::uint64_t>(p) << 32) | b;
+  };
+  for (auto& [profile, blocks] : profile_blocks) {
+    std::sort(blocks.begin(), blocks.end(), [&](BlockId a, BlockId b) {
+      const std::size_t sa = input.block(a).size();
+      const std::size_t sb = input.block(b).size();
+      if (sa != sb) return sa < sb;
+      return a < b;
+    });
+    const std::size_t retained = static_cast<std::size_t>(
+        std::ceil(options.ratio * static_cast<double>(blocks.size())));
+    for (std::size_t k = 0; k < blocks.size() && k < retained; ++k) {
+      keep[slot(profile, blocks[k])] = true;
+    }
+  }
+
+  // Pass 3: rebuild blocks with only the retained memberships.
+  BlockCollection out(input.er_type(), input.split_index());
+  for (BlockId b = 0; b < input.size(); ++b) {
+    const Block& block = input.block(b);
+    Block filtered;
+    filtered.key = block.key;
+    for (ProfileId p : block.profiles) {
+      auto it = keep.find(slot(p, b));
+      if (it != keep.end() && it->second) filtered.profiles.push_back(p);
+    }
+    if (out.ComputeCardinality(filtered) == 0) continue;
+    out.Add(std::move(filtered));
+  }
+  return out;
+}
+
+}  // namespace sper

@@ -1,0 +1,29 @@
+#ifndef SPER_BLOCKING_BLOCK_FILTERING_H_
+#define SPER_BLOCKING_BLOCK_FILTERING_H_
+
+#include "blocking/block_collection.h"
+
+/// \file block_filtering.h
+/// Block Filtering [12] (workflow step 3): retains every profile only in
+/// its most important blocks. Importance of a block is inversely
+/// proportional to its size — small blocks carry distinctive keys. The
+/// paper keeps each profile in 80% of its smallest blocks.
+
+namespace sper {
+
+/// Options for Block Filtering.
+struct BlockFilteringOptions {
+  /// Every profile is kept in ceil(ratio * |B_i|) of its smallest blocks.
+  double ratio = 0.8;
+};
+
+/// Returns a new collection in which every profile appears only in its
+/// ceil(ratio*|B_i|) smallest blocks; blocks left without a valid
+/// comparison are dropped. Relative order of surviving blocks and of
+/// profiles inside blocks is preserved.
+BlockCollection BlockFiltering(const BlockCollection& input,
+                               const BlockFilteringOptions& options = {});
+
+}  // namespace sper
+
+#endif  // SPER_BLOCKING_BLOCK_FILTERING_H_

@@ -1,0 +1,18 @@
+#include "blocking/block_purging.h"
+
+namespace sper {
+
+BlockCollection BlockPurging(const BlockCollection& input,
+                             std::size_t num_profiles,
+                             const BlockPurgingOptions& options) {
+  const double max_size =
+      options.max_size_ratio * static_cast<double>(num_profiles);
+  BlockCollection out(input.er_type(), input.split_index());
+  for (const Block& b : input.blocks()) {
+    if (static_cast<double>(b.size()) > max_size) continue;
+    out.Add(b);
+  }
+  return out;
+}
+
+}  // namespace sper

@@ -1,0 +1,24 @@
+#include "blocking/block_scheduling.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace sper {
+
+BlockCollection BlockScheduling(const BlockCollection& input) {
+  std::vector<BlockId> order(input.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](BlockId a, BlockId b) {
+    const auto ca = input.Cardinality(a);
+    const auto cb = input.Cardinality(b);
+    if (ca != cb) return ca < cb;
+    return input.block(a).key < input.block(b).key;
+  });
+
+  BlockCollection out(input.er_type(), input.split_index());
+  for (BlockId id : order) out.Add(input.block(id));
+  return out;
+}
+
+}  // namespace sper

@@ -1,0 +1,24 @@
+#ifndef SPER_BLOCKING_BLOCK_SCHEDULING_H_
+#define SPER_BLOCKING_BLOCK_SCHEDULING_H_
+
+#include "blocking/block_collection.h"
+
+/// \file block_scheduling.h
+/// Block Scheduling (paper Sec. 5.2.1): orders blocks for progressive
+/// processing. PBS weights each block by 1/||b|| — the fewer comparisons a
+/// block entails, the more distinctive its key and the earlier it is
+/// processed — and so sorts blocks by non-decreasing cardinality. After
+/// scheduling, a block's id equals its processing rank, which is the
+/// precondition of the LeCoBI duplicate test.
+
+namespace sper {
+
+/// Returns the collection re-ordered by (cardinality asc, key asc).
+/// The key tie-break replaces the paper's "random permutation of the
+/// blocks that have the same number of comparisons" with a deterministic
+/// choice, which the paper notes does not affect the end result.
+BlockCollection BlockScheduling(const BlockCollection& input);
+
+}  // namespace sper
+
+#endif  // SPER_BLOCKING_BLOCK_SCHEDULING_H_

@@ -1,0 +1,45 @@
+#include "blocking/profile_index.h"
+
+namespace sper {
+
+ProfileIndex::ProfileIndex(const BlockCollection& blocks,
+                           std::size_t num_profiles) {
+  offsets_.assign(num_profiles + 1, 0);
+  for (const Block& b : blocks.blocks()) {
+    for (ProfileId p : b.profiles) ++offsets_[p + 1];
+  }
+  for (std::size_t i = 1; i <= num_profiles; ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  flat_.resize(offsets_[num_profiles]);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (BlockId id = 0; id < blocks.size(); ++id) {
+    for (ProfileId p : blocks.block(id).profiles) {
+      flat_[cursor[p]++] = id;
+    }
+  }
+}
+
+BlockId ProfileIndex::LeastCommonBlock(ProfileId a, ProfileId b) const {
+  std::span<const BlockId> la = BlocksOf(a);
+  std::span<const BlockId> lb = BlocksOf(b);
+  std::size_t x = 0, y = 0;
+  while (x < la.size() && y < lb.size()) {
+    if (la[x] < lb[y]) {
+      ++x;
+    } else if (lb[y] < la[x]) {
+      ++y;
+    } else {
+      return la[x];
+    }
+  }
+  return kInvalidBlock;
+}
+
+std::size_t ProfileIndex::CountCommonBlocks(ProfileId a, ProfileId b) const {
+  std::size_t count = 0;
+  ForEachCommonBlock(a, b, [&count](BlockId) { ++count; });
+  return count;
+}
+
+}  // namespace sper

@@ -1,0 +1,30 @@
+#include "blocking/standard_blocking.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sper {
+
+BlockCollection StandardBlocking(const ProfileStore& store,
+                                 const SchemaKeyFn& key_fn) {
+  // std::map keeps keys ordered, giving deterministic block ids.
+  std::map<std::string, std::vector<ProfileId>> postings;
+  for (const Profile& p : store.profiles()) {
+    std::string key = key_fn(p);
+    if (key.empty()) continue;
+    postings[std::move(key)].push_back(p.id());
+  }
+
+  BlockCollection collection(store.er_type(), store.split_index());
+  for (auto& [key, ids] : postings) {
+    Block block{key, std::move(ids)};
+    if (collection.ComputeCardinality(block) == 0) continue;
+    collection.Add(std::move(block));
+  }
+  return collection;
+}
+
+}  // namespace sper

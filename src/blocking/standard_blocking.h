@@ -1,0 +1,25 @@
+#ifndef SPER_BLOCKING_STANDARD_BLOCKING_H_
+#define SPER_BLOCKING_STANDARD_BLOCKING_H_
+
+#include "blocking/block_collection.h"
+#include "core/profile_store.h"
+#include "core/types.h"
+
+/// \file standard_blocking.h
+/// Schema-based Standard Blocking [19]: one block per distinct value of a
+/// hand-crafted blocking key (e.g. Soundex(surname)+initial+zipcode for
+/// census). This is the substrate of the schema-based baselines in the
+/// paper's taxonomy (Fig. 2). Each profile contributes exactly one key,
+/// so the blocks are redundancy-free.
+
+namespace sper {
+
+/// Builds schema-based standard blocks. Profiles whose key is empty are
+/// left out (missing values produce no blocking key). Only blocks with at
+/// least one valid comparison are kept; block order is key order.
+BlockCollection StandardBlocking(const ProfileStore& store,
+                                 const SchemaKeyFn& key_fn);
+
+}  // namespace sper
+
+#endif  // SPER_BLOCKING_STANDARD_BLOCKING_H_

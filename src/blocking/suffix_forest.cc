@@ -1,0 +1,64 @@
+#include "blocking/suffix_forest.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "blocking/block_collection.h"
+
+namespace sper {
+
+SuffixForest SuffixForest::Build(const ProfileStore& store,
+                                 const SuffixForestOptions& options) {
+  // Suffix -> owning profiles. Visiting profiles in id order with distinct
+  // tokens keeps each posting list sorted; a profile may reach the same
+  // suffix through different tokens, so lists are deduplicated afterwards.
+  std::unordered_map<std::string, std::vector<ProfileId>> postings;
+  postings.reserve(store.size() * 8);
+  for (const Profile& p : store.profiles()) {
+    for (const std::string& token :
+         DistinctProfileTokens(p, options.tokenizer)) {
+      if (token.size() < options.lmin) continue;
+      const std::size_t longest =
+          std::min(token.size(), options.max_suffix_length);
+      for (std::size_t len = options.lmin; len <= longest; ++len) {
+        std::string suffix = token.substr(token.size() - len);
+        std::vector<ProfileId>& list = postings[std::move(suffix)];
+        if (list.empty() || list.back() != p.id()) list.push_back(p.id());
+      }
+    }
+  }
+
+  // Geometry helper for cardinalities.
+  BlockCollection geometry(store.er_type(), store.split_index());
+
+  SuffixForest forest;
+  forest.nodes_.reserve(postings.size());
+  for (auto it = postings.begin(); it != postings.end();) {
+    auto node_handle = postings.extract(it++);
+    SuffixNode node;
+    node.suffix = std::move(node_handle.key());
+    node.profiles = std::move(node_handle.mapped());
+    Block probe{"", node.profiles};
+    node.cardinality = geometry.ComputeCardinality(probe);
+    if (node.cardinality == 0) continue;
+    forest.total_comparisons_ += node.cardinality;
+    forest.nodes_.push_back(std::move(node));
+  }
+
+  // "Leaves first, root last": longest suffixes first; within one layer,
+  // increasing number of comparisons; suffix text as deterministic tie.
+  std::sort(forest.nodes_.begin(), forest.nodes_.end(),
+            [](const SuffixNode& a, const SuffixNode& b) {
+              if (a.suffix.size() != b.suffix.size()) {
+                return a.suffix.size() > b.suffix.size();
+              }
+              if (a.cardinality != b.cardinality) {
+                return a.cardinality < b.cardinality;
+              }
+              return a.suffix < b.suffix;
+            });
+  return forest;
+}
+
+}  // namespace sper

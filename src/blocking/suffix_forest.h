@@ -1,0 +1,64 @@
+#ifndef SPER_BLOCKING_SUFFIX_FOREST_H_
+#define SPER_BLOCKING_SUFFIX_FOREST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile_store.h"
+#include "core/tokenizer.h"
+
+/// \file suffix_forest.h
+/// The suffix forest of SA-PSAB (paper Sec. 4.2). Every attribute-value
+/// token is expanded into all of its suffixes with at least `lmin`
+/// characters; each suffix indexes the profiles owning such a token. The
+/// forest's hierarchy ("leaves first, root last") is realized by ordering
+/// nodes by decreasing suffix length — the longest suffixes are the leaf
+/// layer — and, inside a layer, by increasing number of comparisons.
+
+namespace sper {
+
+/// Options for suffix-forest construction.
+struct SuffixForestOptions {
+  /// Minimum suffix length (the method's only configuration parameter).
+  std::size_t lmin = 3;
+  /// Suffixes longer than this are not generated; each token still yields
+  /// its min(len, max_suffix_length)-character suffix as its leaf. Bounds
+  /// memory on datasets with very long values (e.g. URIs).
+  std::size_t max_suffix_length = 24;
+  /// How attribute values are split into tokens.
+  TokenizerOptions tokenizer;
+};
+
+/// One node of the suffix forest: a suffix and its block of profiles.
+struct SuffixNode {
+  std::string suffix;
+  /// Profiles owning a token that ends with `suffix`; sorted ascending.
+  std::vector<ProfileId> profiles;
+  /// Comparisons this node yields under the store's ER geometry.
+  std::uint64_t cardinality = 0;
+};
+
+/// The suffix forest: nodes pre-sorted in SA-PSAB processing order
+/// (suffix length desc, then cardinality asc, then suffix asc).
+class SuffixForest {
+ public:
+  /// Builds the forest over all attribute-value tokens of the store.
+  /// Nodes that yield no valid comparison are dropped.
+  static SuffixForest Build(const ProfileStore& store,
+                            const SuffixForestOptions& options = {});
+
+  /// Nodes in processing order.
+  const std::vector<SuffixNode>& nodes() const { return nodes_; }
+
+  /// Σ node cardinality (comparisons SA-PSAB would emit, with repeats).
+  std::uint64_t TotalComparisons() const { return total_comparisons_; }
+
+ private:
+  std::vector<SuffixNode> nodes_;
+  std::uint64_t total_comparisons_ = 0;
+};
+
+}  // namespace sper
+
+#endif  // SPER_BLOCKING_SUFFIX_FOREST_H_

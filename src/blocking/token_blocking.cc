@@ -1,0 +1,42 @@
+#include "blocking/token_blocking.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace sper {
+
+BlockCollection TokenBlocking(const ProfileStore& store,
+                              const TokenBlockingOptions& options) {
+  // Token -> member profiles. Profiles are visited in id order and each
+  // contributes its *distinct* tokens, so the postings arrive sorted and
+  // duplicate-free.
+  std::unordered_map<std::string, std::vector<ProfileId>> postings;
+  postings.reserve(store.size() * 4);
+  for (const Profile& p : store.profiles()) {
+    for (std::string& token :
+         DistinctProfileTokens(p, options.tokenizer)) {
+      postings[std::move(token)].push_back(p.id());
+    }
+  }
+
+  // Deterministic block order: sort keys lexicographically.
+  std::vector<const std::string*> keys;
+  keys.reserve(postings.size());
+  for (const auto& [token, ids] : postings) keys.push_back(&token);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
+  BlockCollection collection(store.er_type(), store.split_index());
+  for (const std::string* key : keys) {
+    auto node = postings.extract(*key);
+    Block block{std::move(node.key()), std::move(node.mapped())};
+    if (collection.ComputeCardinality(block) == 0) continue;
+    collection.Add(std::move(block));
+  }
+  return collection;
+}
+
+}  // namespace sper

@@ -1,0 +1,23 @@
+#ifndef SPER_CORE_ATTRIBUTE_H_
+#define SPER_CORE_ATTRIBUTE_H_
+
+#include <string>
+
+/// \file attribute.h
+/// The atomic unit of an entity profile: one name-value pair.
+
+namespace sper {
+
+/// One attribute name-value pair of an entity profile (Sec. 3 of the
+/// paper). Schema-agnostic methods only ever look at `value`; `name` exists
+/// for schema-based baselines, dataset statistics and human inspection.
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+}  // namespace sper
+
+#endif  // SPER_CORE_ATTRIBUTE_H_

@@ -1,0 +1,59 @@
+#ifndef SPER_CORE_COMPARISON_H_
+#define SPER_CORE_COMPARISON_H_
+
+#include <cstdint>
+#include <tuple>
+
+#include "core/types.h"
+
+/// \file comparison.h
+/// The unit of progressive emission: one candidate profile pair with its
+/// estimated matching likelihood.
+
+namespace sper {
+
+/// A candidate comparison c_ij with its matching-likelihood weight.
+/// The pair is stored canonically with i < j.
+struct Comparison {
+  ProfileId i = kInvalidProfile;
+  ProfileId j = kInvalidProfile;
+  double weight = 0.0;
+
+  Comparison() = default;
+  /// Builds the canonical (min, max) representation of the pair {a, b}.
+  Comparison(ProfileId a, ProfileId b, double w)
+      : i(a < b ? a : b), j(a < b ? b : a), weight(w) {}
+
+  bool SamePair(const Comparison& other) const {
+    return i == other.i && j == other.j;
+  }
+};
+
+/// 64-bit canonical key of an unordered profile pair; usable as a hash-set
+/// element for O(1) duplicate detection and ground-truth lookup.
+inline std::uint64_t PairKey(ProfileId a, ProfileId b) {
+  const ProfileId lo = a < b ? a : b;
+  const ProfileId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// Strict weak order: descending weight, ties broken by ascending (i, j) so
+/// that every sort in the library is deterministic.
+struct ByWeightDesc {
+  bool operator()(const Comparison& a, const Comparison& b) const {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+  }
+};
+
+/// Ascending-weight variant used by bounded min-heaps (PPS's SortedStack).
+struct ByWeightAsc {
+  bool operator()(const Comparison& a, const Comparison& b) const {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return std::tie(a.i, a.j) > std::tie(b.i, b.j);
+  }
+};
+
+}  // namespace sper
+
+#endif  // SPER_CORE_COMPARISON_H_

@@ -1,0 +1,45 @@
+#include "core/ground_truth.h"
+
+#include <string>
+
+namespace sper {
+
+void GroundTruth::AddMatch(ProfileId a, ProfileId b) {
+  if (a == b) return;
+  pairs_.insert(PairKey(a, b));
+}
+
+GroundTruth GroundTruth::FromClusters(
+    const std::vector<std::vector<ProfileId>>& clusters) {
+  GroundTruth gt;
+  for (const auto& cluster : clusters) {
+    for (std::size_t x = 0; x < cluster.size(); ++x) {
+      for (std::size_t y = x + 1; y < cluster.size(); ++y) {
+        gt.AddMatch(cluster[x], cluster[y]);
+      }
+    }
+  }
+  return gt;
+}
+
+Status GroundTruth::Validate(const ProfileStore& store) const {
+  for (std::uint64_t key : pairs_) {
+    const ProfileId lo = static_cast<ProfileId>(key >> 32);
+    const ProfileId hi = static_cast<ProfileId>(key & 0xffffffffu);
+    if (hi >= store.size()) {
+      return Status::InvalidArgument("ground-truth id out of range: " +
+                                     std::to_string(hi));
+    }
+    if (lo == hi) {
+      return Status::InvalidArgument("ground truth contains a self-pair");
+    }
+    if (!store.IsComparable(lo, hi)) {
+      return Status::InvalidArgument(
+          "ground-truth pair violates the ER-type validity rule: (" +
+          std::to_string(lo) + ", " + std::to_string(hi) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sper

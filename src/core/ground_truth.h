@@ -1,0 +1,57 @@
+#ifndef SPER_CORE_GROUND_TRUTH_H_
+#define SPER_CORE_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/comparison.h"
+#include "core/profile_store.h"
+#include "core/status.h"
+#include "core/types.h"
+
+/// \file ground_truth.h
+/// The known duplicate pairs D_P of a dataset. Recall and recall
+/// progressiveness (Sec. 7) are measured against this set. The paper does
+/// NOT assume a transitive match function, so the ground truth is stored as
+/// an explicit pair set, not as closed clusters.
+
+namespace sper {
+
+/// The set of matching profile pairs of one ER task.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  /// Registers the unordered pair {a, b} as a match. Self-pairs are
+  /// ignored; duplicates are idempotent.
+  void AddMatch(ProfileId a, ProfileId b);
+
+  /// True iff {a, b} is a known match.
+  bool AreMatching(ProfileId a, ProfileId b) const {
+    return pairs_.count(PairKey(a, b)) > 0;
+  }
+
+  /// |D_P|: the number of matching pairs.
+  std::size_t num_matches() const { return pairs_.size(); }
+
+  /// The canonical pair keys (see PairKey).
+  const std::unordered_set<std::uint64_t>& pairs() const { return pairs_; }
+
+  /// Expands equivalence clusters into all intra-cluster pairs:
+  /// a cluster of k profiles yields C(k,2) matches. This is how Dirty ER
+  /// ground truth is defined (e.g. cora: 1.3k profiles -> 17k pairs).
+  static GroundTruth FromClusters(
+      const std::vector<std::vector<ProfileId>>& clusters);
+
+  /// Checks consistency against a store: ids in range, no self-pairs and,
+  /// for Clean-Clean ER, every match crosses the source boundary.
+  Status Validate(const ProfileStore& store) const;
+
+ private:
+  std::unordered_set<std::uint64_t> pairs_;
+};
+
+}  // namespace sper
+
+#endif  // SPER_CORE_GROUND_TRUTH_H_

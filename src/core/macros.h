@@ -1,0 +1,28 @@
+#ifndef SPER_CORE_MACROS_H_
+#define SPER_CORE_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file macros.h
+/// Internal invariant checks. SPER_CHECK is always on (cheap, used at module
+/// boundaries); SPER_DCHECK compiles away in release builds (hot paths).
+
+#define SPER_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SPER_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define SPER_DCHECK(cond) SPER_CHECK(cond)
+#else
+#define SPER_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+#endif  // SPER_CORE_MACROS_H_

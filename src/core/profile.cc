@@ -1,0 +1,25 @@
+#include "core/profile.h"
+
+namespace sper {
+
+std::string_view Profile::ValueOf(std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return a.value;
+  }
+  return {};
+}
+
+std::string Profile::ConcatenatedValues() const {
+  std::string out;
+  std::size_t total = 0;
+  for (const Attribute& a : attributes_) total += a.value.size() + 1;
+  out.reserve(total);
+  for (const Attribute& a : attributes_) {
+    if (a.value.empty()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out += a.value;
+  }
+  return out;
+}
+
+}  // namespace sper

@@ -1,0 +1,64 @@
+#ifndef SPER_CORE_PROFILE_H_
+#define SPER_CORE_PROFILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/attribute.h"
+#include "core/types.h"
+
+/// \file profile.h
+/// The entity-profile data model (paper Sec. 3): a uniquely identified set
+/// of attribute name-value pairs, representing a real-world entity in any
+/// source format (relational record, RDF resource, JSON object, text
+/// snippet, ...).
+
+namespace sper {
+
+/// A uniquely identified set of attribute name-value pairs.
+///
+/// Profiles are created id-less, then adopted by a ProfileStore which
+/// assigns the dense id. A profile never changes once stored.
+class Profile {
+ public:
+  Profile() = default;
+
+  /// Constructs a profile from a list of name-value pairs.
+  explicit Profile(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  /// Appends one name-value pair. Empty values are legal (real-world data
+  /// is incomplete) and simply produce no blocking keys.
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.push_back({std::move(name), std::move(value)});
+  }
+
+  /// Dense id inside the owning ProfileStore; kInvalidProfile until stored.
+  ProfileId id() const { return id_; }
+
+  /// All name-value pairs, in insertion order.
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Number of name-value pairs (the paper's |p|).
+  std::size_t size() const { return attributes_.size(); }
+
+  /// The value of the first attribute with the given name, or "" if absent.
+  /// Linear scan: profiles are small (|p| is 4.65-24.54 in Table 2).
+  std::string_view ValueOf(std::string_view name) const;
+
+  /// All attribute values concatenated with single spaces, in insertion
+  /// order. This is the string representation used by match functions
+  /// (edit distance / Jaccard in Sec. 7.3).
+  std::string ConcatenatedValues() const;
+
+ private:
+  friend class ProfileStore;
+
+  ProfileId id_ = kInvalidProfile;
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace sper
+
+#endif  // SPER_CORE_PROFILE_H_

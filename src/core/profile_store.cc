@@ -1,0 +1,40 @@
+#include "core/profile_store.h"
+
+#include <utility>
+
+#include "core/macros.h"
+
+namespace sper {
+
+ProfileStore::ProfileStore(ErType type, std::vector<Profile> profiles,
+                           ProfileId split_index)
+    : er_type_(type), profiles_(std::move(profiles)),
+      split_index_(split_index) {
+  SPER_CHECK(profiles_.size() <= kInvalidProfile);
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    profiles_[i].id_ = static_cast<ProfileId>(i);
+  }
+}
+
+ProfileStore ProfileStore::MakeDirty(std::vector<Profile> profiles) {
+  const ProfileId n = static_cast<ProfileId>(profiles.size());
+  return ProfileStore(ErType::kDirty, std::move(profiles), n);
+}
+
+ProfileStore ProfileStore::MakeCleanClean(std::vector<Profile> source1,
+                                          std::vector<Profile> source2) {
+  const ProfileId split = static_cast<ProfileId>(source1.size());
+  std::vector<Profile> all = std::move(source1);
+  all.reserve(all.size() + source2.size());
+  for (Profile& p : source2) all.push_back(std::move(p));
+  return ProfileStore(ErType::kCleanClean, std::move(all), split);
+}
+
+double ProfileStore::MeanProfileSize() const {
+  if (profiles_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const Profile& p : profiles_) total += p.size();
+  return static_cast<double>(total) / static_cast<double>(profiles_.size());
+}
+
+}  // namespace sper

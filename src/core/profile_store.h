@@ -1,0 +1,81 @@
+#ifndef SPER_CORE_PROFILE_STORE_H_
+#define SPER_CORE_PROFILE_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/profile.h"
+#include "core/types.h"
+
+/// \file profile_store.h
+/// Owns the profile collection(s) of an ER task and encodes which profile
+/// pairs are valid candidate comparisons.
+
+namespace sper {
+
+/// The profile collection(s) of one ER task.
+///
+/// Both ER forms share one contiguous array of profiles:
+/// - Dirty ER: one collection P; every distinct pair is comparable.
+/// - Clean-Clean ER: P1 followed by P2; ids < split_index() belong to P1
+///   and only cross-source pairs are comparable.
+///
+/// This mirrors how the paper's methods treat the two settings uniformly
+/// ("a neighbor pj is considered valid only if pj belongs to P2", Sec. 5.1).
+class ProfileStore {
+ public:
+  /// Builds a Dirty ER store from one collection. Assigns dense ids 0..n-1.
+  static ProfileStore MakeDirty(std::vector<Profile> profiles);
+
+  /// Builds a Clean-Clean ER store from two duplicate-free collections.
+  /// Source-1 profiles receive ids 0..|P1|-1, source-2 the rest.
+  static ProfileStore MakeCleanClean(std::vector<Profile> source1,
+                                     std::vector<Profile> source2);
+
+  /// Which ER form this store represents.
+  ErType er_type() const { return er_type_; }
+
+  /// Total number of profiles, |P| (for Clean-Clean: |P1| + |P2|).
+  std::size_t size() const { return profiles_.size(); }
+
+  /// First id of source 2; equals size() for Dirty ER.
+  ProfileId split_index() const { return split_index_; }
+
+  /// Number of profiles in source 1 (== size() for Dirty ER).
+  std::size_t source1_size() const { return split_index_; }
+
+  /// Number of profiles in source 2 (0 for Dirty ER).
+  std::size_t source2_size() const { return profiles_.size() - split_index_; }
+
+  /// The profile with the given dense id.
+  const Profile& profile(ProfileId id) const { return profiles_[id]; }
+
+  /// All profiles, id order.
+  const std::vector<Profile>& profiles() const { return profiles_; }
+
+  /// True iff `id` belongs to source 1 (always true for Dirty ER).
+  bool InSource1(ProfileId id) const { return id < split_index_; }
+
+  /// The paper's comparison-validity rule: distinct profiles for Dirty ER,
+  /// profiles of different sources for Clean-Clean ER.
+  bool IsComparable(ProfileId a, ProfileId b) const {
+    if (a == b) return false;
+    if (er_type_ == ErType::kDirty) return true;
+    return InSource1(a) != InSource1(b);
+  }
+
+  /// Average number of name-value pairs per profile (Table 2's |p̄|).
+  double MeanProfileSize() const;
+
+ private:
+  ProfileStore(ErType type, std::vector<Profile> profiles,
+               ProfileId split_index);
+
+  ErType er_type_;
+  std::vector<Profile> profiles_;
+  ProfileId split_index_;
+};
+
+}  // namespace sper
+
+#endif  // SPER_CORE_PROFILE_STORE_H_

@@ -1,0 +1,109 @@
+#ifndef SPER_CORE_STATUS_H_
+#define SPER_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "core/macros.h"
+
+/// \file status.h
+/// RocksDB-style error handling: fallible operations return Status (or
+/// Result<T> when they produce a value) instead of throwing. Algorithm hot
+/// paths never allocate a Status; only construction/IO boundaries do.
+
+namespace sper {
+
+/// Error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Named constructors, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Minimal std::expected stand-in (C++20-compatible).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    SPER_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  /// The error; OK if a value is held.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+  /// The held value. Aborts if `!ok()`.
+  const T& value() const& {
+    SPER_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  /// Moves the held value out. Aborts if `!ok()`.
+  T&& value() && {
+    SPER_CHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates an error Status out of the current function.
+#define SPER_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::sper::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+}  // namespace sper
+
+#endif  // SPER_CORE_STATUS_H_

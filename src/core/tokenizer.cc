@@ -1,0 +1,49 @@
+#include "core/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sper {
+
+namespace {
+inline bool IsTokenChar(unsigned char c) { return std::isalnum(c) != 0; }
+}  // namespace
+
+std::vector<std::string> TokenizeValue(std::string_view value,
+                                       const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  current.reserve(16);
+  for (unsigned char c : value) {
+    if (IsTokenChar(c)) {
+      current.push_back(options.lowercase
+                            ? static_cast<char>(std::tolower(c))
+                            : static_cast<char>(c));
+    } else if (!current.empty()) {
+      if (current.size() >= options.min_token_length) {
+        tokens.push_back(std::move(current));
+      }
+      current.clear();
+    }
+  }
+  if (current.size() >= options.min_token_length) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+std::vector<std::string> DistinctProfileTokens(
+    const Profile& profile, const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  for (const Attribute& a : profile.attributes()) {
+    std::vector<std::string> value_tokens = TokenizeValue(a.value, options);
+    tokens.insert(tokens.end(),
+                  std::make_move_iterator(value_tokens.begin()),
+                  std::make_move_iterator(value_tokens.end()));
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+}  // namespace sper

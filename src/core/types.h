@@ -1,0 +1,51 @@
+#ifndef SPER_CORE_TYPES_H_
+#define SPER_CORE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+/// \file types.h
+/// Fundamental identifiers and enums shared by every sper subsystem.
+
+namespace sper {
+
+/// Identifier of an entity profile inside a ProfileStore.
+/// Ids are dense: the i-th profile of the store has id `i`.
+using ProfileId = std::uint32_t;
+
+/// Identifier of a block inside a BlockCollection. After Block Scheduling,
+/// the id of a block equals its position in the processing order.
+using BlockId = std::uint32_t;
+
+/// Sentinel for "no profile".
+inline constexpr ProfileId kInvalidProfile =
+    std::numeric_limits<ProfileId>::max();
+
+/// Sentinel for "no block".
+inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+
+/// The two forms of Entity Resolution the paper considers (Sec. 3).
+///
+/// - kDirty: a single profile collection that contains duplicates in
+///   itself; every pair of distinct profiles is a candidate.
+/// - kCleanClean: two individually duplicate-free but overlapping
+///   collections; only cross-source pairs are candidates.
+enum class ErType { kDirty, kCleanClean };
+
+/// Human-readable name of an ErType ("dirty" / "clean-clean").
+inline const char* ToString(ErType t) {
+  return t == ErType::kDirty ? "dirty" : "clean-clean";
+}
+
+class Profile;
+
+/// A schema-based blocking-key extractor, e.g. "Soundex(surname) + initials
+/// + zipcode" for the census dataset (paper footnote 6). Used only by the
+/// schema-based baseline PSN; all other methods are schema-agnostic.
+using SchemaKeyFn = std::function<std::string(const Profile&)>;
+
+}  // namespace sper
+
+#endif  // SPER_CORE_TYPES_H_

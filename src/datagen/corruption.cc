@@ -1,0 +1,89 @@
+#include "datagen/corruption.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace sper {
+
+namespace {
+char RandomLetter(Rng& rng) {
+  return static_cast<char>('a' + rng.UniformInt(0, 25));
+}
+
+std::vector<std::string> SplitWords(const std::string& value) {
+  std::vector<std::string> words;
+  std::istringstream in(value);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+std::string JoinWords(const std::vector<std::string>& words) {
+  std::string out;
+  for (const std::string& w : words) {
+    if (!out.empty()) out.push_back(' ');
+    out += w;
+  }
+  return out;
+}
+}  // namespace
+
+std::string RandomTypo(Rng& rng, const std::string& value) {
+  if (value.size() < 2) return value;
+  std::string out = value;
+  const std::size_t pos = rng.UniformInt(0, out.size() - 1);
+  switch (rng.UniformInt(0, 3)) {
+    case 0:  // substitution
+      out[pos] = RandomLetter(rng);
+      break;
+    case 1:  // insertion
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                 RandomLetter(rng));
+      break;
+    case 2:  // deletion
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+      break;
+    default:  // adjacent transposition
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string MaybeTypo(Rng& rng, const std::string& value, double rate) {
+  std::string out = value;
+  double p = rate;
+  while (rng.Bernoulli(p)) {
+    out = RandomTypo(rng, out);
+    p /= 2.0;
+  }
+  return out;
+}
+
+std::string Abbreviate(const std::string& word) {
+  if (word.empty()) return word;
+  return std::string(1, word[0]) + ".";
+}
+
+std::string TokenNoise(Rng& rng, const std::string& value,
+                       const TokenNoiseOptions& options) {
+  std::vector<std::string> words = SplitWords(value);
+  if (words.empty()) return value;
+  if (words.size() > 1 && rng.Bernoulli(options.drop_rate)) {
+    words.erase(words.begin() +
+                static_cast<std::ptrdiff_t>(
+                    rng.UniformInt(0, words.size() - 1)));
+  }
+  if (words.size() > 1 && rng.Bernoulli(options.swap_rate)) {
+    const std::size_t pos = rng.UniformInt(0, words.size() - 2);
+    std::swap(words[pos], words[pos + 1]);
+  }
+  if (rng.Bernoulli(options.abbreviate_rate)) {
+    const std::size_t pos = rng.UniformInt(0, words.size() - 1);
+    words[pos] = Abbreviate(words[pos]);
+  }
+  return JoinWords(words);
+}
+
+}  // namespace sper

@@ -1,0 +1,43 @@
+#ifndef SPER_DATAGEN_CORRUPTION_H_
+#define SPER_DATAGEN_CORRUPTION_H_
+
+#include <string>
+
+#include "datagen/rng.h"
+
+/// \file corruption.h
+/// Value-corruption operators used to derive duplicate profiles. The
+/// paper's analysis (Sec. 8) hinges on the *kind* of noise: structured
+/// datasets "principally contain character-level errors" (favoring the
+/// similarity principle — typo'd keys still sort nearby), while
+/// semi-structured data "abound in both character- and token-level noise"
+/// (defeating alphabetical proximity, favoring the equality principle).
+
+namespace sper {
+
+/// One random character-level typo: substitution, insertion, deletion or
+/// adjacent transposition. Strings shorter than 2 characters are returned
+/// unchanged.
+std::string RandomTypo(Rng& rng, const std::string& value);
+
+/// Applies RandomTypo to the value with probability `rate`, possibly
+/// repeatedly (each extra typo applied with rate/2).
+std::string MaybeTypo(Rng& rng, const std::string& value, double rate);
+
+/// Abbreviates a word to its first letter plus '.', e.g. "john" -> "j.".
+std::string Abbreviate(const std::string& word);
+
+/// Token-level noise on a whitespace-separated value: with the given
+/// probabilities, drops one token, swaps two adjacent tokens, or
+/// abbreviates one token.
+struct TokenNoiseOptions {
+  double drop_rate = 0.0;
+  double swap_rate = 0.0;
+  double abbreviate_rate = 0.0;
+};
+std::string TokenNoise(Rng& rng, const std::string& value,
+                       const TokenNoiseOptions& options);
+
+}  // namespace sper
+
+#endif  // SPER_DATAGEN_CORRUPTION_H_

@@ -1,0 +1,33 @@
+#ifndef SPER_DATAGEN_DATASET_H_
+#define SPER_DATAGEN_DATASET_H_
+
+#include <string>
+
+#include "core/ground_truth.h"
+#include "core/profile_store.h"
+#include "core/types.h"
+
+/// \file dataset.h
+/// A complete ER task: profiles, ground truth, and (when the literature
+/// defines one) the schema-based PSN blocking key.
+
+namespace sper {
+
+/// One benchmark dataset, ready to run every method on.
+struct DatasetBundle {
+  /// Dataset name ("census", ..., "freebase").
+  std::string name;
+  /// The profile collection(s).
+  ProfileStore store;
+  /// The known matches D_P.
+  GroundTruth truth;
+  /// The literature blocking key for schema-based PSN; nullptr for the
+  /// heterogeneous datasets, where the paper deems PSN inapplicable.
+  SchemaKeyFn psn_key;
+  /// One-line provenance note (what the synthetic generator models).
+  std::string description;
+};
+
+}  // namespace sper
+
+#endif  // SPER_DATAGEN_DATASET_H_

@@ -1,0 +1,203 @@
+#include "datagen/dictionaries.h"
+
+#include <unordered_set>
+
+namespace sper {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> pool = {
+      "james",   "mary",     "john",    "patricia", "robert",  "jennifer",
+      "michael", "linda",    "william", "elizabeth", "david",  "barbara",
+      "richard", "susan",    "joseph",  "jessica",  "thomas",  "sarah",
+      "charles", "karen",    "chris",   "nancy",    "daniel",  "lisa",
+      "matthew", "betty",    "anthony", "margaret", "mark",    "sandra",
+      "donald",  "ashley",   "steven",  "kimberly", "paul",    "emily",
+      "andrew",  "donna",    "joshua",  "michelle", "kenneth", "dorothy",
+      "kevin",   "carol",    "brian",   "amanda",   "george",  "melissa",
+      "edward",  "deborah",  "ronald",  "stephanie", "timothy", "rebecca",
+      "jason",   "sharon",   "jeffrey", "laura",    "ryan",    "cynthia",
+      "jacob",   "kathleen", "gary",    "amy",      "nicholas", "shirley",
+      "eric",    "angela",   "jonathan", "helen",   "stephen", "anna",
+      "larry",   "brenda",   "justin",  "pamela",   "scott",   "nicole",
+      "brandon", "emma",     "benjamin", "samantha", "samuel", "katherine",
+      "gregory", "christine", "frank",  "debra",    "raymond", "rachel",
+      "carl",    "karl",     "ellen",   "hellen",   "walter",  "janet",
+      "patrick", "catherine", "harold", "maria",    "douglas", "heather",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& Surnames() {
+  static const std::vector<std::string> pool = {
+      "smith",    "johnson",  "williams", "brown",    "jones",   "garcia",
+      "miller",   "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+      "gonzalez", "wilson",   "anderson", "thomas",   "taylor",  "moore",
+      "jackson",  "martin",   "lee",      "perez",    "thompson", "white",
+      "harris",   "sanchez",  "clark",    "ramirez",  "lewis",   "robinson",
+      "walker",   "young",    "allen",    "king",     "wright",  "scott",
+      "torres",   "nguyen",   "hill",     "flores",   "green",   "adams",
+      "nelson",   "baker",    "hall",     "rivera",   "campbell", "mitchell",
+      "carter",   "roberts",  "gomez",    "phillips", "evans",   "turner",
+      "diaz",     "parker",   "cruz",     "edwards",  "collins", "reyes",
+      "stewart",  "morris",   "morales",  "murphy",   "cook",    "rogers",
+      "gutierrez", "ortiz",   "morgan",   "cooper",   "peterson", "bailey",
+      "reed",     "kelly",    "howard",   "ramos",    "kim",     "cox",
+      "ward",     "richardson", "watson", "brooks",   "chavez",  "wood",
+      "james",    "bennett",  "gray",     "mendoza",  "ruiz",    "hughes",
+      "price",    "alvarez",  "castillo", "sanders",  "patel",   "myers",
+      "long",     "ross",     "foster",   "jimenez",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string> pool = {
+      "springfield", "riverside",  "franklin",  "greenville", "bristol",
+      "clinton",     "fairview",   "salem",     "madison",    "georgetown",
+      "arlington",   "ashland",    "burlington", "manchester", "oxford",
+      "milton",      "newport",    "auburn",    "dayton",     "lexington",
+      "milford",     "winchester", "cleveland", "hudson",     "kingston",
+      "dover",       "chester",    "monroe",    "lancaster",  "trenton",
+      "richmond",    "florence",   "jackson",   "centerville", "oakland",
+      "brookfield",  "lebanon",    "plymouth",  "columbia",   "concord",
+      "hamilton",    "princeton",  "bridgeport", "glendale",  "harrison",
+      "westfield",   "medford",    "dublin",    "clayton",    "marion",
+      "vienna",      "aurora",     "danville",  "somerset",   "bedford",
+      "hillsboro",   "lakewood",   "weston",    "sheridan",   "troy",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& States() {
+  static const std::vector<std::string> pool = {
+      "al", "ak", "az", "ar", "ca", "co", "ct", "de", "fl", "ga",
+      "hi", "id", "il", "in", "ia", "ks", "ky", "la", "me", "md",
+      "ma", "mi", "mn", "ms", "mo", "mt", "ne", "nv", "nh", "nj",
+      "nm", "ny", "nc", "nd", "oh", "ok", "or", "pa", "ri", "sc",
+      "sd", "tn", "tx", "ut", "vt", "va", "wa", "wv", "wi", "wy",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& Cuisines() {
+  static const std::vector<std::string> pool = {
+      "american",  "italian",   "french",   "chinese",   "japanese",
+      "mexican",   "thai",      "indian",   "greek",     "spanish",
+      "korean",    "vietnamese", "seafood", "steakhouse", "barbecue",
+      "pizzeria",  "cafe",      "bistro",   "diner",     "bakery",
+      "vegetarian", "mediterranean", "cajun", "fusion",  "continental",
+      "delicatessen", "brasserie", "tavern", "grill",    "noodles",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& StreetWords() {
+  static const std::vector<std::string> pool = {
+      "street", "avenue", "boulevard", "road",   "lane",    "drive",
+      "court",  "place",  "terrace",   "square", "parkway", "highway",
+      "main",   "oak",    "maple",     "cedar",  "pine",    "elm",
+      "park",   "lake",   "hill",      "river",  "sunset",  "broadway",
+      "washington",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& CommonWords() {
+  static const std::vector<std::string> pool = {
+      "analysis",   "system",     "model",      "theory",     "method",
+      "approach",   "learning",   "neural",     "network",    "adaptive",
+      "dynamic",    "stochastic", "optimal",    "parallel",   "distributed",
+      "efficient",  "robust",     "general",    "hybrid",     "statistical",
+      "linear",     "nonlinear",  "bayesian",   "genetic",    "evolutionary",
+      "knowledge",  "information", "data",      "pattern",    "recognition",
+      "classification", "clustering", "estimation", "prediction", "control",
+      "design",     "evaluation", "framework",  "algorithm",  "computation",
+      "language",   "logic",      "reasoning",  "planning",   "search",
+      "graph",      "tree",       "matrix",     "vector",     "function",
+      "process",    "memory",     "storage",    "query",      "index",
+      "database",   "transaction", "integration", "resolution", "entity",
+      "semantic",   "syntactic",  "visual",     "image",      "speech",
+      "signal",     "time",       "space",      "complexity", "structure",
+      "abstract",   "concrete",   "local",      "global",     "random",
+      "sequential", "incremental", "recursive", "iterative",  "scalable",
+      "modular",    "formal",     "empirical",  "experimental", "applied",
+      "fundamental", "advanced",  "introduction", "survey",   "review",
+      "foundations", "principles", "perspectives", "applications", "studies",
+      "machine",    "agent",      "environment", "simulation", "modeling",
+      "inference",  "probability", "uncertainty", "decision", "markov",
+      "kernel",     "feature",    "selection",  "extraction", "reduction",
+      "mining",     "retrieval",  "filtering",  "ranking",    "matching",
+      "alignment",  "mapping",    "translation", "generation", "synthesis",
+      "verification", "validation", "testing",  "debugging",  "optimization",
+      "scheduling", "allocation", "routing",    "caching",    "streaming",
+      "encoding",   "compression", "encryption", "security",  "privacy",
+      "morning",    "river",      "stone",      "golden",     "silver",
+      "shadow",     "winter",     "summer",     "crimson",    "hollow",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& Genres() {
+  static const std::vector<std::string> pool = {
+      "rock",    "pop",     "jazz",       "blues",   "classical",
+      "country", "folk",    "electronic", "ambient", "metal",
+      "punk",    "reggae",  "soul",       "funk",    "disco",
+      "techno",  "house",   "trance",     "hiphop",  "rap",
+      "latin",   "gospel",  "opera",      "swing",   "indie",
+  };
+  return pool;
+}
+
+const std::vector<std::string>& VenueWords() {
+  static const std::vector<std::string> pool = {
+      "proceedings", "international", "conference", "journal",  "workshop",
+      "symposium",   "transactions",  "annual",     "national", "european",
+      "artificial",  "intelligence",  "computing",  "computer", "science",
+      "engineering", "research",      "letters",    "advances", "bulletin",
+      "society",     "association",   "institute",  "press",    "quarterly",
+      "technical",   "report",        "university", "department", "press",
+  };
+  return pool;
+}
+
+std::string SyllableWord(Rng& rng, std::size_t min_syllables,
+                         std::size_t max_syllables) {
+  static const std::vector<std::string> onsets = {
+      "b",  "c",  "d",  "f",  "g",  "h",  "j",  "k",  "l",  "m",
+      "n",  "p",  "r",  "s",  "t",  "v",  "w",  "z",  "br", "cr",
+      "dr", "fr", "gr", "pr", "tr", "bl", "cl", "fl", "gl", "pl",
+      "sl", "sh", "ch", "th", "st", "sp", "sk", "qu", "",
+  };
+  static const std::vector<std::string> nuclei = {
+      "a", "e", "i", "o", "u", "a", "e", "i", "o", "u",
+      "ai", "ea", "ee", "ia", "io", "oa", "ou", "ue",
+  };
+  static const std::vector<std::string> codas = {
+      "",  "",  "",  "n", "r", "l", "s", "t", "m", "d",
+      "k", "nd", "nt", "rn", "st", "ll",
+  };
+  const std::size_t syllables = rng.UniformInt(min_syllables, max_syllables);
+  std::string word;
+  for (std::size_t s = 0; s < syllables; ++s) {
+    word += rng.Pick(onsets);
+    word += rng.Pick(nuclei);
+    if (s + 1 == syllables || rng.Bernoulli(0.35)) word += rng.Pick(codas);
+  }
+  return word;
+}
+
+std::vector<std::string> SyllablePool(Rng& rng, std::size_t size,
+                                      std::size_t min_syllables,
+                                      std::size_t max_syllables) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> pool;
+  pool.reserve(size);
+  while (pool.size() < size) {
+    std::string word = SyllableWord(rng, min_syllables, max_syllables);
+    if (word.size() < 3) continue;
+    if (seen.insert(word).second) pool.push_back(std::move(word));
+  }
+  return pool;
+}
+
+}  // namespace sper

@@ -1,0 +1,142 @@
+#include "datagen/generator_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sper {
+
+std::size_t ClusterPlan::TotalProfiles() const {
+  std::size_t total = singletons;
+  for (const auto& [size, count] : clusters_of_size) total += size * count;
+  return total;
+}
+
+std::uint64_t ClusterPlan::TotalPairs() const {
+  std::uint64_t total = 0;
+  for (const auto& [size, count] : clusters_of_size) {
+    total += static_cast<std::uint64_t>(count) * size * (size - 1) / 2;
+  }
+  return total;
+}
+
+ClusterPlan ClusterPlan::Scaled(double scale) const {
+  ClusterPlan scaled;
+  scaled.singletons = static_cast<std::size_t>(
+      std::llround(static_cast<double>(singletons) * scale));
+  for (const auto& [size, count] : clusters_of_size) {
+    const std::size_t new_count = static_cast<std::size_t>(
+        std::llround(static_cast<double>(count) * scale));
+    if (new_count > 0) scaled.clusters_of_size.emplace_back(size, new_count);
+  }
+  return scaled;
+}
+
+DirtyAssembly AssembleDirty(Rng& rng,
+                            std::vector<std::vector<Profile>> clusters,
+                            std::vector<Profile> singletons) {
+  // Each entry is (cluster index, member) or (npos, singleton index).
+  constexpr std::size_t kSingleton = static_cast<std::size_t>(-1);
+  std::vector<std::pair<std::size_t, std::size_t>> slots;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (std::size_t m = 0; m < clusters[c].size(); ++m) {
+      slots.emplace_back(c, m);
+    }
+  }
+  for (std::size_t s = 0; s < singletons.size(); ++s) {
+    slots.emplace_back(kSingleton, s);
+  }
+  rng.Shuffle(slots.begin(), slots.end());
+
+  std::vector<Profile> profiles;
+  profiles.reserve(slots.size());
+  std::vector<std::vector<ProfileId>> id_clusters(clusters.size());
+  for (const auto& [cluster, member] : slots) {
+    const ProfileId id = static_cast<ProfileId>(profiles.size());
+    if (cluster == kSingleton) {
+      profiles.push_back(std::move(singletons[member]));
+    } else {
+      profiles.push_back(std::move(clusters[cluster][member]));
+      id_clusters[cluster].push_back(id);
+    }
+  }
+
+  DirtyAssembly out{ProfileStore::MakeDirty(std::move(profiles)),
+                    GroundTruth::FromClusters(id_clusters)};
+  return out;
+}
+
+CleanCleanAssembly AssembleCleanClean(
+    Rng& rng, std::vector<std::pair<Profile, Profile>> matched,
+    std::vector<Profile> source1_only, std::vector<Profile> source2_only) {
+  const std::size_t n1 = matched.size() + source1_only.size();
+  const std::size_t n2 = matched.size() + source2_only.size();
+
+  // Positions for every source-1 profile: first `matched.size()` slots map
+  // matched entities, the rest the extras; shuffled to decouple id from
+  // match status. Same independently for source 2.
+  std::vector<std::size_t> order1(n1);
+  std::iota(order1.begin(), order1.end(), 0);
+  rng.Shuffle(order1.begin(), order1.end());
+  std::vector<std::size_t> order2(n2);
+  std::iota(order2.begin(), order2.end(), 0);
+  rng.Shuffle(order2.begin(), order2.end());
+
+  std::vector<Profile> s1(n1);
+  std::vector<Profile> s2(n2);
+  std::vector<ProfileId> match_pos1(matched.size());
+  std::vector<ProfileId> match_pos2(matched.size());
+  for (std::size_t slot = 0; slot < n1; ++slot) {
+    const std::size_t source = order1[slot];
+    if (source < matched.size()) {
+      s1[slot] = std::move(matched[source].first);
+      match_pos1[source] = static_cast<ProfileId>(slot);
+    } else {
+      s1[slot] = std::move(source1_only[source - matched.size()]);
+    }
+  }
+  for (std::size_t slot = 0; slot < n2; ++slot) {
+    const std::size_t source = order2[slot];
+    if (source < matched.size()) {
+      s2[slot] = std::move(matched[source].second);
+      match_pos2[source] = static_cast<ProfileId>(slot);
+    } else {
+      s2[slot] = std::move(source2_only[source - matched.size()]);
+    }
+  }
+
+  ProfileStore store =
+      ProfileStore::MakeCleanClean(std::move(s1), std::move(s2));
+  GroundTruth truth;
+  for (std::size_t m = 0; m < match_pos1.size(); ++m) {
+    truth.AddMatch(match_pos1[m],
+                   static_cast<ProfileId>(store.split_index() +
+                                          match_pos2[m]));
+  }
+  return CleanCleanAssembly{std::move(store), std::move(truth)};
+}
+
+std::size_t ZipfRank(Rng& rng, std::size_t n, double offset) {
+  const double u = rng.UniformReal();
+  const double lo = std::log(offset);
+  const double hi = std::log(static_cast<double>(n) + offset);
+  const double r = std::exp(lo + u * (hi - lo)) - offset;
+  const auto rank = static_cast<std::size_t>(r);
+  return rank >= n ? n - 1 : rank;
+}
+
+std::string ZeroPad(std::uint64_t value, std::size_t width) {
+  std::string digits = std::to_string(value);
+  if (digits.size() < width) {
+    digits.insert(digits.begin(), width - digits.size(), '0');
+  }
+  return digits;
+}
+
+std::size_t ScaleCount(std::size_t base, double scale, std::size_t minimum) {
+  const auto scaled = static_cast<std::size_t>(
+      std::llround(static_cast<double>(base) * scale));
+  return std::max(minimum, scaled);
+}
+
+}  // namespace sper

@@ -1,0 +1,58 @@
+#ifndef SPER_DATAGEN_RNG_H_
+#define SPER_DATAGEN_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/macros.h"
+
+/// \file rng.h
+/// Seeded random source for the dataset generators. Every generator takes
+/// an explicit seed, so generated datasets are reproducible bit-for-bit.
+
+namespace sper {
+
+/// Thin deterministic wrapper over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi], inclusive.
+  std::size_t UniformInt(std::size_t lo, std::size_t hi) {
+    SPER_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<std::size_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& pool) {
+    SPER_DCHECK(!pool.empty());
+    return pool[UniformInt(0, pool.size() - 1)];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename It>
+  void Shuffle(It first, It last) {
+    std::shuffle(first, last, engine_);
+  }
+
+  /// Underlying engine for distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sper
+
+#endif  // SPER_DATAGEN_RNG_H_

@@ -1,0 +1,66 @@
+#include "datagen/soundex.h"
+
+#include <cctype>
+
+namespace sper {
+
+namespace {
+// Soundex digit of a letter; '0' encodes the vowel-like "no code" class.
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b':
+    case 'f':
+    case 'p':
+    case 'v':
+      return '1';
+    case 'c':
+    case 'g':
+    case 'j':
+    case 'k':
+    case 'q':
+    case 's':
+    case 'x':
+    case 'z':
+      return '2';
+    case 'd':
+    case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm':
+    case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';
+  }
+}
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  std::string letters;
+  for (char c : word) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      letters.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (letters.empty()) return "";
+
+  std::string code(1, static_cast<char>(
+                          std::toupper(static_cast<unsigned char>(letters[0]))));
+  char previous = SoundexDigit(letters[0]);
+  for (std::size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    const char c = letters[i];
+    // 'h' and 'w' are transparent: they do not reset the previous digit.
+    if (c == 'h' || c == 'w') continue;
+    const char digit = SoundexDigit(c);
+    if (digit != '0' && digit != previous) code.push_back(digit);
+    previous = digit;
+  }
+  code.resize(4, '0');
+  return code;
+}
+
+}  // namespace sper

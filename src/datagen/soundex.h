@@ -1,0 +1,20 @@
+#ifndef SPER_DATAGEN_SOUNDEX_H_
+#define SPER_DATAGEN_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+/// \file soundex.h
+/// American Soundex phonetic code. The paper's PSN baseline keys census
+/// with "Soundex encoded surnames concatenated to initials and zipcodes"
+/// (footnote 6).
+
+namespace sper {
+
+/// The 4-character Soundex code of a word (e.g. "robert" -> "R163").
+/// Non-alphabetic characters are ignored; an empty input yields "".
+std::string Soundex(std::string_view word);
+
+}  // namespace sper
+
+#endif  // SPER_DATAGEN_SOUNDEX_H_

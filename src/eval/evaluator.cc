@@ -1,0 +1,133 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "core/macros.h"
+
+namespace sper {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+}  // namespace
+
+ProgressiveEvaluator::ProgressiveEvaluator(const GroundTruth& truth,
+                                           EvalOptions options)
+    : truth_(truth), options_(std::move(options)) {
+  SPER_CHECK(truth_.num_matches() > 0);
+  SPER_CHECK(std::is_sorted(options_.auc_at.begin(), options_.auc_at.end()));
+}
+
+RunResult ProgressiveEvaluator::Run(
+    const std::function<std::unique_ptr<ProgressiveEmitter>()>& factory,
+    const MatchFunction* match) const {
+  RunResult result;
+
+  const auto init_start = Clock::now();
+  std::unique_ptr<ProgressiveEmitter> emitter = factory();
+  const auto init_end = Clock::now();
+  result.method = std::string(emitter->name());
+  result.init_seconds = Seconds(init_start, init_end);
+
+  const double num_matches = static_cast<double>(truth_.num_matches());
+  const std::uint64_t ec_max = static_cast<std::uint64_t>(
+      options_.ecstar_max * num_matches + 0.5);
+  const std::uint64_t curve_step = std::max<std::uint64_t>(
+      1, truth_.num_matches() / options_.curve_points_per_unit);
+
+  // Running AUC sums: actual and ideal, with checkpoints at auc_at.
+  double auc_sum = 0.0;
+  double ideal_sum = 0.0;
+  std::size_t next_auc = 0;
+  std::unordered_set<std::uint64_t> found;
+  found.reserve(truth_.num_matches());
+
+  result.curve.push_back({0.0, 0.0});
+  double emission_seconds = 0.0;
+  double match_seconds = 0.0;
+
+  while (result.emissions < ec_max) {
+    const auto next_start = Clock::now();
+    std::optional<Comparison> comparison = emitter->Next();
+    emission_seconds += Seconds(next_start, Clock::now());
+    if (!comparison.has_value()) break;
+    ++result.emissions;
+
+    if (match != nullptr) {
+      const auto match_start = Clock::now();
+      (void)match->Similarity(comparison->i, comparison->j);
+      match_seconds += Seconds(match_start, Clock::now());
+    }
+
+    if (truth_.AreMatching(comparison->i, comparison->j)) {
+      found.insert(PairKey(comparison->i, comparison->j));
+    }
+    const double recall = static_cast<double>(found.size()) / num_matches;
+
+    // Discrete AUC: one recall sample per emission.
+    auc_sum += recall;
+    ideal_sum += std::min(static_cast<double>(result.emissions), num_matches) /
+                 num_matches;
+    while (next_auc < options_.auc_at.size() &&
+           static_cast<double>(result.emissions) >=
+               options_.auc_at[next_auc] * num_matches) {
+      result.auc_norm.push_back(ideal_sum > 0 ? auc_sum / ideal_sum : 0.0);
+      ++next_auc;
+    }
+
+    if (result.emissions % curve_step == 0) {
+      const double ecstar = static_cast<double>(result.emissions) /
+                            num_matches;
+      result.curve.push_back({ecstar, recall});
+      result.time_recall.emplace_back(
+          result.init_seconds + emission_seconds + match_seconds, recall);
+    }
+  }
+
+  // A method may exhaust before a checkpoint; extend with its final state
+  // (recall can no longer change, the ideal keeps accumulating).
+  while (next_auc < options_.auc_at.size()) {
+    const double target = options_.auc_at[next_auc] * num_matches;
+    const double recall = static_cast<double>(found.size()) / num_matches;
+    double extended_auc = auc_sum;
+    double extended_ideal = ideal_sum;
+    for (double k = static_cast<double>(result.emissions) + 1; k <= target;
+         k += 1.0) {
+      extended_auc += recall;
+      extended_ideal += std::min(k, num_matches) / num_matches;
+    }
+    result.auc_norm.push_back(
+        extended_ideal > 0 ? extended_auc / extended_ideal : 0.0);
+    ++next_auc;
+  }
+
+  result.matches_found = found.size();
+  result.final_recall = static_cast<double>(found.size()) / num_matches;
+  result.emission_seconds = emission_seconds;
+  result.match_seconds = match_seconds;
+  const double final_ecstar =
+      static_cast<double>(result.emissions) / num_matches;
+  result.curve.push_back({final_ecstar, result.final_recall});
+  return result;
+}
+
+std::vector<double> MeanAucAcrossRuns(const std::vector<RunResult>& runs) {
+  std::vector<double> mean;
+  if (runs.empty()) return mean;
+  mean.assign(runs[0].auc_norm.size(), 0.0);
+  for (const RunResult& run : runs) {
+    SPER_CHECK(run.auc_norm.size() == mean.size());
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+      mean[i] += run.auc_norm[i];
+    }
+  }
+  for (double& m : mean) m /= static_cast<double>(runs.size());
+  return mean;
+}
+
+}  // namespace sper

@@ -1,0 +1,94 @@
+#ifndef SPER_EVAL_EVALUATOR_H_
+#define SPER_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ground_truth.h"
+#include "matching/match_function.h"
+#include "progressive/emitter.h"
+
+/// \file evaluator.h
+/// The paper's evaluation protocol (Sec. 7, "Metrics"):
+///
+/// - emissions are normalized as ec* = ec / |D_P|, so the ideal method
+///   reaches recall 1 exactly at ec* = 1;
+/// - *recall progressiveness* is the recall curve over ec*;
+/// - AUC@ec* is the (discrete) area under that curve, and AUC*@ec* its
+///   value normalized by the ideal method's area;
+/// - timing separates initialization time (everything up to the first
+///   emission) from comparison time (emission + match function).
+
+namespace sper {
+
+/// One sampled point of a recall-progressiveness curve.
+struct CurvePoint {
+  double ecstar = 0.0;
+  double recall = 0.0;
+};
+
+/// Evaluation protocol options.
+struct EvalOptions {
+  /// Stop after ecstar_max * |D_P| emitted comparisons (the paper plots
+  /// up to ec* = 30).
+  double ecstar_max = 30.0;
+  /// Curve sampling density: points per unit of ec*.
+  std::size_t curve_points_per_unit = 10;
+  /// Normalized-AUC checkpoints (the paper reports 1, 5, 10, 20).
+  std::vector<double> auc_at = {1.0, 5.0, 10.0, 20.0};
+};
+
+/// Everything measured in one progressive run.
+struct RunResult {
+  std::string method;
+  /// Recall progressiveness, sampled on the ec* grid.
+  std::vector<CurvePoint> curve;
+  /// AUC*_m@ec* for every EvalOptions::auc_at checkpoint, in order.
+  std::vector<double> auc_norm;
+  /// Distinct matches found / |D_P| at the end of the run.
+  double final_recall = 0.0;
+  /// Comparisons emitted (including any repeats).
+  std::uint64_t emissions = 0;
+  /// Distinct ground-truth matches found.
+  std::size_t matches_found = 0;
+  /// Initialization phase seconds (emitter construction).
+  double init_seconds = 0.0;
+  /// Total seconds spent inside Next().
+  double emission_seconds = 0.0;
+  /// Total seconds spent inside the match function (0 when none given).
+  double match_seconds = 0.0;
+  /// Recall at each point in time (seconds since init start), sampled with
+  /// the curve; only meaningful when a match function is timed.
+  std::vector<std::pair<double, double>> time_recall;
+};
+
+/// Runs emitters against a ground truth under the paper's protocol.
+class ProgressiveEvaluator {
+ public:
+  ProgressiveEvaluator(const GroundTruth& truth, EvalOptions options = {});
+
+  /// Runs one method. `factory` builds the emitter (timed as the
+  /// initialization phase); `match` is invoked per emission when provided
+  /// (timed as match time, result ignored per the paper's footnote 10).
+  RunResult Run(
+      const std::function<std::unique_ptr<ProgressiveEmitter>()>& factory,
+      const MatchFunction* match = nullptr) const;
+
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  const GroundTruth& truth_;
+  EvalOptions options_;
+};
+
+/// Mean of the AUC* columns across several runs (Figs. 10 and 12 report
+/// the mean AUC*_m over all datasets). All runs must share auc_at.
+std::vector<double> MeanAucAcrossRuns(const std::vector<RunResult>& runs);
+
+}  // namespace sper
+
+#endif  // SPER_EVAL_EVALUATOR_H_

@@ -1,0 +1,68 @@
+#ifndef SPER_EVAL_EXPERIMENT_H_
+#define SPER_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "blocking/suffix_forest.h"
+#include "datagen/dataset.h"
+#include "metablocking/edge_weighting.h"
+#include "progressive/emitter.h"
+#include "progressive/workflow.h"
+#include "sorted/neighbor_list.h"
+
+/// \file experiment.h
+/// Method registry for the benchmark harness: constructs any of the
+/// paper's seven progressive methods against a DatasetBundle with one
+/// shared configuration (the paper's Sec. 7 "Parameter configuration").
+
+namespace sper {
+
+/// The seven methods of the evaluation (Figs. 9-13).
+enum class MethodId {
+  kPsn,     // schema-based baseline
+  kSaPsn,   // naïve, similarity
+  kSaPsab,  // naïve, equality/hierarchy
+  kLsPsn,   // advanced, similarity (local)
+  kGsPsn,   // advanced, similarity (global)
+  kPbs,     // advanced, equality (block-centric)
+  kPps,     // advanced, equality (profile-centric)
+};
+
+/// Method acronym as printed in the paper.
+std::string_view ToString(MethodId id);
+
+/// Shared method configuration (defaults = the paper's settings).
+struct MethodConfig {
+  /// GS-PSN window range (paper: 20 structured, 200 large).
+  std::size_t gs_wmax = 20;
+  /// PPS comparisons retained per profile.
+  std::size_t pps_kmax = 100;
+  /// SA-PSAB suffix forest parameters.
+  SuffixForestOptions suffix;
+  /// Edge weighting for PBS/PPS (paper: ARCS).
+  WeightingScheme scheme = WeightingScheme::kArcs;
+  /// Token Blocking Workflow for PBS/PPS (paper: purge 10%, filter 80%).
+  TokenWorkflowOptions workflow;
+  /// Neighbor List construction (tie shuffling seed etc.).
+  NeighborListOptions list;
+};
+
+/// Builds the requested emitter on the dataset. The construction cost is
+/// the method's full initialization phase, including blocking for the
+/// equality-based methods. Returns nullptr for PSN on datasets without a
+/// literature blocking key (the heterogeneous ones).
+std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
+                                                const DatasetBundle& dataset,
+                                                const MethodConfig& config);
+
+/// The methods compared on structured datasets (Figs. 9-10), paper order.
+const std::vector<MethodId>& StructuredMethodSet();
+/// The schema-agnostic methods compared on heterogeneous datasets
+/// (Figs. 11-12).
+const std::vector<MethodId>& HeterogeneousMethodSet();
+
+}  // namespace sper
+
+#endif  // SPER_EVAL_EXPERIMENT_H_

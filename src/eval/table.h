@@ -1,0 +1,46 @@
+#ifndef SPER_EVAL_TABLE_H_
+#define SPER_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// Fixed-width text tables for the benchmark harness output: every bench
+/// binary prints the rows/series of the paper table or figure it
+/// regenerates.
+
+namespace sper {
+
+/// A simple aligned text table.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; it may have fewer cells than there are headers.
+  void AddRow(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  /// Prints the table with right-padded columns and a separator rule.
+  void Print(std::ostream& out) const;
+
+  /// Prints to standard output.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal rendering ("0.934").
+std::string FormatDouble(double value, int precision = 3);
+
+/// Thousands-grouped integer rendering ("1,234,567").
+std::string FormatCount(std::uint64_t value);
+
+}  // namespace sper
+
+#endif  // SPER_EVAL_TABLE_H_

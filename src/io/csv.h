@@ -1,0 +1,27 @@
+#ifndef SPER_IO_CSV_H_
+#define SPER_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file csv.h
+/// Minimal RFC-4180-style CSV: fields containing commas, quotes or
+/// newlines are double-quoted with quote doubling. Enough to round-trip
+/// arbitrary profile values.
+
+namespace sper {
+
+/// Escapes one field for CSV output.
+std::string CsvEscape(std::string_view field);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string CsvJoin(const std::vector<std::string>& fields);
+
+/// Splits one CSV line into fields, honoring quoting. Malformed trailing
+/// quotes are tolerated (the remainder is taken literally).
+std::vector<std::string> CsvSplit(std::string_view line);
+
+}  // namespace sper
+
+#endif  // SPER_IO_CSV_H_

@@ -1,0 +1,99 @@
+#include "io/dataset_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "io/csv.h"
+
+namespace sper {
+
+Status WriteProfilesCsv(const ProfileStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "profile,source,attribute,value\n";
+  for (const Profile& p : store.profiles()) {
+    const char* source = store.InSource1(p.id()) ? "1" : "2";
+    for (const Attribute& a : p.attributes()) {
+      out << p.id() << ',' << source << ',' << CsvEscape(a.name) << ','
+          << CsvEscape(a.value) << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<ProfileStore> ReadProfilesCsv(const std::string& path,
+                                     ErType er_type) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  std::vector<Profile> source1;
+  std::vector<Profile> source2;
+  std::string line;
+  bool header = true;
+  std::uint64_t last_profile = UINT64_MAX;
+  std::vector<Profile>* current = nullptr;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> fields = CsvSplit(line);
+    if (fields.size() != 4) {
+      return Status::IoError("malformed profile row: " + line);
+    }
+    const std::uint64_t id = std::stoull(fields[0]);
+    const bool in_source1 = fields[1] == "1";
+    std::vector<Profile>& target =
+        (er_type == ErType::kCleanClean && !in_source1) ? source2 : source1;
+    if (id != last_profile || current != &target) {
+      target.emplace_back();
+      last_profile = id;
+      current = &target;
+    }
+    target.back().AddAttribute(std::move(fields[2]), std::move(fields[3]));
+  }
+  if (er_type == ErType::kDirty) {
+    return ProfileStore::MakeDirty(std::move(source1));
+  }
+  return ProfileStore::MakeCleanClean(std::move(source1),
+                                      std::move(source2));
+}
+
+Status WriteGroundTruthCsv(const GroundTruth& truth,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "profile1,profile2\n";
+  for (std::uint64_t key : truth.pairs()) {
+    out << (key >> 32) << ',' << (key & 0xffffffffu) << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<GroundTruth> ReadGroundTruthCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  GroundTruth truth;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> fields = CsvSplit(line);
+    if (fields.size() != 2) {
+      return Status::IoError("malformed ground-truth row: " + line);
+    }
+    truth.AddMatch(static_cast<ProfileId>(std::stoul(fields[0])),
+                   static_cast<ProfileId>(std::stoul(fields[1])));
+  }
+  return truth;
+}
+
+}  // namespace sper

@@ -1,0 +1,25 @@
+#include "matching/jaccard.h"
+
+namespace sper {
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  std::size_t x = 0, y = 0;
+  while (x < a.size() && y < b.size()) {
+    if (a[x] < b[y]) {
+      ++x;
+    } else if (b[y] < a[x]) {
+      ++y;
+    } else {
+      ++intersection;
+      ++x;
+      ++y;
+    }
+  }
+  const std::size_t unions = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+}  // namespace sper

@@ -1,0 +1,20 @@
+#ifndef SPER_MATCHING_JACCARD_H_
+#define SPER_MATCHING_JACCARD_H_
+
+#include <string>
+#include <vector>
+
+/// \file jaccard.h
+/// Jaccard similarity over token sets — the paper's "cheap" match function
+/// (Sec. 7.3): O(s + t) on pre-sorted token vectors.
+
+namespace sper {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two sorted, deduplicated token
+/// vectors. Returns 1 when both are empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+}  // namespace sper
+
+#endif  // SPER_MATCHING_JACCARD_H_

@@ -1,0 +1,35 @@
+#include "matching/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sper {
+
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> curr(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitution});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+}  // namespace sper

@@ -1,0 +1,23 @@
+#ifndef SPER_MATCHING_LEVENSHTEIN_H_
+#define SPER_MATCHING_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+/// \file levenshtein.h
+/// Levenshtein edit distance — the paper's "expensive" match function
+/// (Sec. 7.3): O(s*t) time, O(min(s,t)) space (two-row dynamic program).
+
+namespace sper {
+
+/// Number of single-character insertions, deletions and substitutions
+/// needed to turn `a` into `b`.
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Similarity in [0, 1]: 1 - distance / max(|a|, |b|); 1 for two empty
+/// strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace sper
+
+#endif  // SPER_MATCHING_LEVENSHTEIN_H_

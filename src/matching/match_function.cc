@@ -1,0 +1,31 @@
+#include "matching/match_function.h"
+
+#include "matching/jaccard.h"
+#include "matching/levenshtein.h"
+
+namespace sper {
+
+EditDistanceMatch::EditDistanceMatch(const ProfileStore& store) {
+  serialized_.reserve(store.size());
+  for (const Profile& p : store.profiles()) {
+    serialized_.push_back(p.ConcatenatedValues());
+  }
+}
+
+double EditDistanceMatch::Similarity(ProfileId a, ProfileId b) const {
+  return LevenshteinSimilarity(serialized_[a], serialized_[b]);
+}
+
+JaccardMatch::JaccardMatch(const ProfileStore& store,
+                           const TokenizerOptions& options) {
+  tokens_.reserve(store.size());
+  for (const Profile& p : store.profiles()) {
+    tokens_.push_back(DistinctProfileTokens(p, options));
+  }
+}
+
+double JaccardMatch::Similarity(ProfileId a, ProfileId b) const {
+  return JaccardSimilarity(tokens_[a], tokens_[b]);
+}
+
+}  // namespace sper

@@ -1,0 +1,50 @@
+#include "metablocking/blocking_graph.h"
+
+#include <algorithm>
+
+#include "metablocking/neighborhood.h"
+
+namespace sper {
+
+BlockingGraph BlockingGraph::Build(const BlockCollection& blocks,
+                                   const ProfileIndex& index,
+                                   const ProfileStore& store,
+                                   WeightingScheme scheme) {
+  EdgeWeighter weighter(blocks, index, store, scheme);
+  NeighborhoodAccumulator acc(store.size());
+
+  BlockingGraph graph;
+  std::vector<bool> in_graph(store.size(), false);
+  for (ProfileId i = 0; i < store.size(); ++i) {
+    acc.Gather(
+        i, blocks, index, store,
+        [&](BlockId b) { return weighter.BlockContribution(b); },
+        [&](ProfileId j, double accumulated) {
+          in_graph[i] = in_graph[j] = true;
+          // Each undirected edge is gathered from both endpoints; keep the
+          // visit from the smaller id only.
+          if (i < j) {
+            graph.edges_.emplace_back(i, j,
+                                      weighter.Finalize(i, j, accumulated));
+          }
+        });
+  }
+  graph.num_nodes_ =
+      static_cast<std::size_t>(std::count(in_graph.begin(), in_graph.end(),
+                                          true));
+  std::sort(graph.edges_.begin(), graph.edges_.end(),
+            [](const Comparison& a, const Comparison& b) {
+              if (a.i != b.i) return a.i < b.i;
+              return a.j < b.j;
+            });
+  return graph;
+}
+
+double BlockingGraph::MeanEdgeWeight() const {
+  if (edges_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Comparison& e : edges_) total += e.weight;
+  return total / static_cast<double>(edges_.size());
+}
+
+}  // namespace sper

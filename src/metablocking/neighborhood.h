@@ -1,0 +1,56 @@
+#ifndef SPER_METABLOCKING_NEIGHBORHOOD_H_
+#define SPER_METABLOCKING_NEIGHBORHOOD_H_
+
+#include <vector>
+
+#include "blocking/block_collection.h"
+#include "blocking/profile_index.h"
+#include "core/profile_store.h"
+#include "core/types.h"
+
+/// \file neighborhood.h
+/// Sparse accumulation over a profile's blocking-graph neighborhood: the
+/// classic meta-blocking "dirty array + touched list" pattern. Visiting
+/// profile i costs O(Σ_{b ∈ B_i} |b|) with no hashing and no allocation
+/// after the first use.
+
+namespace sper {
+
+/// Reusable accumulator for per-neighbor weights of one profile at a time.
+class NeighborhoodAccumulator {
+ public:
+  explicit NeighborhoodAccumulator(std::size_t num_profiles)
+      : acc_(num_profiles, 0.0) {}
+
+  /// Accumulates `contribution(b)` into every comparable co-occurring
+  /// profile of `i` across all blocks of `i`, then invokes
+  /// `fn(j, accumulated)` once per distinct neighbor and resets itself.
+  /// `contribution` maps a BlockId to its additive share (e.g. 1/||b||
+  /// for ARCS, 1 for count-based schemes).
+  template <typename ContributionFn, typename Fn>
+  void Gather(ProfileId i, const BlockCollection& blocks,
+              const ProfileIndex& index, const ProfileStore& store,
+              ContributionFn&& contribution, Fn&& fn) {
+    for (BlockId b : index.BlocksOf(i)) {
+      const double share = contribution(b);
+      for (ProfileId j : blocks.block(b).profiles) {
+        if (j == i || !store.IsComparable(i, j)) continue;
+        if (acc_[j] == 0.0) touched_.push_back(j);
+        acc_[j] += share;
+      }
+    }
+    for (ProfileId j : touched_) {
+      fn(j, acc_[j]);
+      acc_[j] = 0.0;
+    }
+    touched_.clear();
+  }
+
+ private:
+  std::vector<double> acc_;
+  std::vector<ProfileId> touched_;
+};
+
+}  // namespace sper
+
+#endif  // SPER_METABLOCKING_NEIGHBORHOOD_H_

@@ -1,0 +1,65 @@
+#include "metablocking/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sper {
+
+namespace {
+void SortByPair(std::vector<Comparison>& edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const Comparison& a, const Comparison& b) {
+              if (a.i != b.i) return a.i < b.i;
+              return a.j < b.j;
+            });
+}
+}  // namespace
+
+std::vector<Comparison> WeightEdgePruning(const BlockingGraph& graph) {
+  const double threshold = graph.MeanEdgeWeight();
+  std::vector<Comparison> kept;
+  for (const Comparison& e : graph.edges()) {
+    if (e.weight >= threshold) kept.push_back(e);
+  }
+  SortByPair(kept);
+  return kept;
+}
+
+std::vector<Comparison> CardinalityNodePruning(const BlockingGraph& graph) {
+  if (graph.num_nodes() == 0) return {};
+
+  // Adjacency: node -> incident edges (index into graph.edges()).
+  std::unordered_map<ProfileId, std::vector<std::size_t>> incident;
+  for (std::size_t idx = 0; idx < graph.edges().size(); ++idx) {
+    const Comparison& e = graph.edges()[idx];
+    incident[e.i].push_back(idx);
+    incident[e.j].push_back(idx);
+  }
+
+  const double avg_degree = 2.0 * static_cast<double>(graph.num_edges()) /
+                            static_cast<double>(graph.num_nodes());
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(avg_degree / 2.0)));
+
+  std::unordered_set<std::size_t> survivors;
+  for (auto& [node, edge_ids] : incident) {
+    const std::size_t keep = std::min(k, edge_ids.size());
+    std::partial_sort(edge_ids.begin(), edge_ids.begin() + keep,
+                      edge_ids.end(), [&](std::size_t a, std::size_t b) {
+                        return ByWeightDesc()(graph.edges()[a],
+                                              graph.edges()[b]);
+                      });
+    for (std::size_t x = 0; x < keep; ++x) survivors.insert(edge_ids[x]);
+  }
+
+  std::vector<Comparison> kept;
+  kept.reserve(survivors.size());
+  for (std::size_t idx : survivors) kept.push_back(graph.edges()[idx]);
+  SortByPair(kept);
+  return kept;
+}
+
+}  // namespace sper

@@ -1,0 +1,31 @@
+#ifndef SPER_METABLOCKING_PRUNING_H_
+#define SPER_METABLOCKING_PRUNING_H_
+
+#include <vector>
+
+#include "core/comparison.h"
+#include "metablocking/blocking_graph.h"
+
+/// \file pruning.h
+/// Batch meta-blocking edge pruning [12]: the substrate the paper's
+/// equality-based progressive methods generalize. Batch meta-blocking
+/// discards low-weighted blocking-graph edges and hands the survivors to
+/// Batch ER; PBS/PPS instead *order* the edges and emit them on-line.
+/// These batch algorithms are provided for completeness and are used by
+/// the tests to cross-validate the progressive implementations.
+
+namespace sper {
+
+/// Weight Edge Pruning: keeps every edge whose weight is at least the mean
+/// edge weight of the graph. Returns surviving edges sorted by (i, j).
+std::vector<Comparison> WeightEdgePruning(const BlockingGraph& graph);
+
+/// Cardinality Node Pruning: keeps, for every node, its k highest-weighted
+/// incident edges (k = max(1, round(avg node degree) / 2)); an edge
+/// survives if either endpoint retains it. Returns surviving edges sorted
+/// by (i, j).
+std::vector<Comparison> CardinalityNodePruning(const BlockingGraph& graph);
+
+}  // namespace sper
+
+#endif  // SPER_METABLOCKING_PRUNING_H_

@@ -1,0 +1,36 @@
+#include "progressive/batch.h"
+
+#include <unordered_set>
+
+namespace sper {
+
+std::vector<Comparison> DistinctBlockComparisons(const BlockCollection& blocks,
+                                                 const ProfileStore& store) {
+  std::vector<Comparison> out;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(blocks.AggregateCardinality());
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    blocks.ForEachComparison(b, [&](ProfileId i, ProfileId j) {
+      if (!store.IsComparable(i, j)) return;
+      if (seen.insert(PairKey(i, j)).second) {
+        out.emplace_back(i, j, 0.0);
+      }
+    });
+  }
+  return out;
+}
+
+std::uint64_t CountDistinctComparisons(const BlockCollection& blocks,
+                                       const ProfileStore& store) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(blocks.AggregateCardinality());
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    blocks.ForEachComparison(b, [&](ProfileId i, ProfileId j) {
+      if (!store.IsComparable(i, j)) return;
+      seen.insert(PairKey(i, j));
+    });
+  }
+  return seen.size();
+}
+
+}  // namespace sper

@@ -1,0 +1,32 @@
+#ifndef SPER_PROGRESSIVE_BATCH_H_
+#define SPER_PROGRESSIVE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/block_collection.h"
+#include "core/comparison.h"
+#include "core/profile_store.h"
+
+/// \file batch.h
+/// Batch ER over a block collection (paper Sec. 3.1): execute all entailed
+/// comparisons without a meaningful order. Used as the reference for the
+/// *Same Eventual Quality* requirement — a progressive method run to
+/// exhaustion must produce the same distinct comparison set as its batch
+/// counterpart — and as the unordered baseline in examples.
+
+namespace sper {
+
+/// All distinct valid comparisons of the collection, in first-occurrence
+/// (block id, in-block) order, weight 0. A pair appearing in several
+/// blocks is reported once.
+std::vector<Comparison> DistinctBlockComparisons(const BlockCollection& blocks,
+                                                 const ProfileStore& store);
+
+/// Number of distinct valid comparisons (|| the deduplicated B ||).
+std::uint64_t CountDistinctComparisons(const BlockCollection& blocks,
+                                       const ProfileStore& store);
+
+}  // namespace sper
+
+#endif  // SPER_PROGRESSIVE_BATCH_H_

@@ -1,0 +1,51 @@
+#ifndef SPER_PROGRESSIVE_COMPARISON_LIST_H_
+#define SPER_PROGRESSIVE_COMPARISON_LIST_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/comparison.h"
+
+/// \file comparison_list.h
+/// The Comparison List shared by all advanced methods (paper Sec. 5): a
+/// batch of comparisons sorted in non-increasing matching likelihood,
+/// consumed front to back and refilled when empty.
+
+namespace sper {
+
+/// Sorted comparison buffer with O(1) pop.
+class ComparisonList {
+ public:
+  /// Appends a comparison to the unsorted tail.
+  void Add(const Comparison& c) { items_.push_back(c); }
+
+  /// Sorts the whole buffer by descending weight (deterministic ties) and
+  /// rewinds the cursor. Call once per refill, after the Adds.
+  void SortDescending() {
+    std::sort(items_.begin(), items_.end(), ByWeightDesc());
+    cursor_ = 0;
+  }
+
+  /// True when every buffered comparison has been popped.
+  bool Empty() const { return cursor_ >= items_.size(); }
+
+  /// Pops the highest-weighted remaining comparison.
+  Comparison PopFirst() { return items_[cursor_++]; }
+
+  /// Drops all content (start of a refill).
+  void Clear() {
+    items_.clear();
+    cursor_ = 0;
+  }
+
+  /// Comparisons not yet popped.
+  std::size_t remaining() const { return items_.size() - cursor_; }
+
+ private:
+  std::vector<Comparison> items_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace sper
+
+#endif  // SPER_PROGRESSIVE_COMPARISON_LIST_H_

@@ -1,0 +1,64 @@
+#include "progressive/gs_psn.h"
+
+#include <vector>
+
+namespace sper {
+
+GsPsnEmitter::GsPsnEmitter(const ProfileStore& store,
+                           const GsPsnOptions& options) {
+  const NeighborList list =
+      NeighborList::BuildSchemaAgnostic(store, options.list);
+  const PositionIndex positions(list, store.size());
+
+  const bool clean_clean = store.er_type() == ErType::kCleanClean;
+  const ProfileId outer_end = clean_clean
+                                  ? store.split_index()
+                                  : static_cast<ProfileId>(store.size());
+  const std::size_t n = list.size();
+
+  std::vector<double> freq(store.size(), 0.0);
+  std::vector<ProfileId> touched;
+
+  for (ProfileId i = 0; i < outer_end; ++i) {
+    auto is_valid = [&](ProfileId j) {
+      return clean_clean ? !store.InSource1(j) : j < i;
+    };
+    // The window loop sits inside the profile loop (Sec. 5.1.2: Algorithm
+    // 1's line 1 becomes an iteration over [1, wmax] around lines 8-19),
+    // so RCF aggregates co-occurrences across every distance in range.
+    for (std::size_t w = 1; w <= options.wmax; ++w) {
+      for (std::uint32_t pos : positions.PositionsOf(i)) {
+        if (pos + w < n) {
+          const ProfileId j = list.at(pos + w);
+          if (is_valid(j)) {
+            if (freq[j] == 0.0) touched.push_back(j);
+            freq[j] += 1.0;
+          }
+        }
+        if (pos >= w) {
+          const ProfileId k = list.at(pos - w);
+          if (is_valid(k)) {
+            if (freq[k] == 0.0) touched.push_back(k);
+            freq[k] += 1.0;
+          }
+        }
+      }
+    }
+    for (ProfileId j : touched) {
+      const double weight = RcfWeight(freq[j], positions.NumPositionsOf(i),
+                                      positions.NumPositionsOf(j));
+      comparisons_.Add(Comparison(i, j, weight));
+      freq[j] = 0.0;
+    }
+    touched.clear();
+  }
+  comparisons_.SortDescending();
+  total_comparisons_ = comparisons_.remaining();
+}
+
+std::optional<Comparison> GsPsnEmitter::Next() {
+  if (comparisons_.Empty()) return std::nullopt;
+  return comparisons_.PopFirst();
+}
+
+}  // namespace sper

@@ -1,0 +1,67 @@
+#include "progressive/ls_psn.h"
+
+namespace sper {
+
+LsPsnEmitter::LsPsnEmitter(const ProfileStore& store,
+                           const NeighborListOptions& options)
+    : store_(store),
+      list_(NeighborList::BuildSchemaAgnostic(store, options)),
+      positions_(list_, store.size()),
+      freq_(store.size(), 0.0) {
+  BuildWindow();
+}
+
+void LsPsnEmitter::BuildWindow() {
+  comparisons_.Clear();
+  // Dirty ER iterates every profile and keeps neighbors with a smaller id;
+  // Clean-Clean ER iterates source 1 and keeps source-2 neighbors
+  // (the two adaptations of Algorithm 1 described in Sec. 5.1.1).
+  const bool clean_clean = store_.er_type() == ErType::kCleanClean;
+  const ProfileId outer_end =
+      clean_clean ? store_.split_index()
+                  : static_cast<ProfileId>(store_.size());
+  const std::size_t n = list_.size();
+
+  for (ProfileId i = 0; i < outer_end; ++i) {
+    auto is_valid = [&](ProfileId j) {
+      return clean_clean ? !store_.InSource1(j) : j < i;
+    };
+    for (std::uint32_t pos : positions_.PositionsOf(i)) {
+      // Neighbor `window_` places after the position.
+      if (pos + window_ < n) {
+        const ProfileId j = list_.at(pos + window_);
+        if (is_valid(j)) {
+          if (freq_[j] == 0.0) touched_.push_back(j);
+          freq_[j] += 1.0;
+        }
+      }
+      // Neighbor `window_` places before the position.
+      if (pos >= window_) {
+        const ProfileId k = list_.at(pos - window_);
+        if (is_valid(k)) {
+          if (freq_[k] == 0.0) touched_.push_back(k);
+          freq_[k] += 1.0;
+        }
+      }
+    }
+    for (ProfileId j : touched_) {
+      const double weight = RcfWeight(freq_[j], positions_.NumPositionsOf(i),
+                                      positions_.NumPositionsOf(j));
+      comparisons_.Add(Comparison(i, j, weight));
+      freq_[j] = 0.0;
+    }
+    touched_.clear();
+  }
+  comparisons_.SortDescending();
+}
+
+std::optional<Comparison> LsPsnEmitter::Next() {
+  while (comparisons_.Empty()) {
+    ++window_;
+    if (window_ >= list_.size()) return std::nullopt;
+    BuildWindow();
+  }
+  return comparisons_.PopFirst();
+}
+
+}  // namespace sper

@@ -1,0 +1,62 @@
+#ifndef SPER_PROGRESSIVE_LS_PSN_H_
+#define SPER_PROGRESSIVE_LS_PSN_H_
+
+#include <vector>
+
+#include "core/profile_store.h"
+#include "progressive/comparison_list.h"
+#include "progressive/emitter.h"
+#include "sorted/neighbor_list.h"
+#include "sorted/position_index.h"
+
+/// \file ls_psn.h
+/// Local Schema-Agnostic Progressive Sorted Neighborhood (LS-PSN, paper
+/// Sec. 5.1.1, Algorithms 1-2).
+///
+/// LS-PSN fixes SA-PSN's coincidental proximity by weighting every
+/// comparison of the *current* window size with the Relative Co-occurrence
+/// Frequency (RCF) scheme and emitting them best-first — a local execution
+/// order per window. When the window's Comparison List empties, the window
+/// grows by one and the weighting pass repeats (trading initialization /
+/// refill cost for a much better comparison order). Because the order is
+/// local, a pair may be re-emitted under a later window; the evaluation
+/// layer counts distinct matches.
+
+namespace sper {
+
+/// The LS-PSN emitter.
+class LsPsnEmitter : public ProgressiveEmitter {
+ public:
+  /// Initialization phase (Algorithm 1): builds the schema-agnostic
+  /// Neighbor List and its Position Index, then weights window 1.
+  explicit LsPsnEmitter(const ProfileStore& store,
+                        const NeighborListOptions& options = {});
+
+  /// Emission phase (Algorithm 2): pops the next best comparison of the
+  /// current window, growing the window when the list empties; nullopt
+  /// when the window reaches the Neighbor List size.
+  std::optional<Comparison> Next() override;
+
+  std::string_view name() const override { return "LS-PSN"; }
+
+  /// The window size currently being emitted (diagnostics / tests).
+  std::size_t window() const { return window_; }
+
+ private:
+  /// Algorithm 1 lines 5-20 for the current window: RCF-weight every
+  /// valid comparison at distance `window_` and sort them descending.
+  void BuildWindow();
+
+  const ProfileStore& store_;
+  NeighborList list_;
+  PositionIndex positions_;
+  std::size_t window_ = 1;
+  ComparisonList comparisons_;
+  // Sparse per-profile accumulator (freq[] of Algorithm 1).
+  std::vector<double> freq_;
+  std::vector<ProfileId> touched_;
+};
+
+}  // namespace sper
+
+#endif  // SPER_PROGRESSIVE_LS_PSN_H_

@@ -1,0 +1,44 @@
+#include "progressive/pbs.h"
+
+#include "blocking/block_scheduling.h"
+
+namespace sper {
+
+PbsEmitter::PbsEmitter(const ProfileStore& store,
+                       const BlockCollection& blocks,
+                       const PbsOptions& options)
+    : store_(store),
+      scheduled_(BlockScheduling(blocks)),
+      index_(scheduled_, store.size()),
+      weighter_(scheduled_, index_, store, options.scheme) {}
+
+void PbsEmitter::ProcessBlock(BlockId id) {
+  comparisons_.Clear();
+  scheduled_.ForEachComparison(id, [&](ProfileId i, ProfileId j) {
+    // One pass over the two block lists serves both operations of the
+    // Profile Index: the LeCoBI repetition test (is `id` the least common
+    // block of i and j?) and Edge Weighting (accumulate contributions).
+    BlockId least = kInvalidBlock;
+    double accumulated = 0.0;
+    index_.ForEachCommonBlock(i, j, [&](BlockId b) {
+      if (least == kInvalidBlock) least = b;
+      accumulated += weighter_.BlockContribution(b);
+    });
+    // least < id would mean the pair already appeared in an earlier block
+    // (repeated comparison); least > id is impossible because `id`
+    // contains both profiles.
+    if (least != id) return;
+    comparisons_.Add(Comparison(i, j, weighter_.Finalize(i, j, accumulated)));
+  });
+  comparisons_.SortDescending();
+}
+
+std::optional<Comparison> PbsEmitter::Next() {
+  while (comparisons_.Empty()) {
+    if (next_block_ >= scheduled_.size()) return std::nullopt;
+    ProcessBlock(next_block_++);
+  }
+  return comparisons_.PopFirst();
+}
+
+}  // namespace sper

@@ -1,0 +1,113 @@
+#include "progressive/pps.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace sper {
+
+PpsEmitter::PpsEmitter(const ProfileStore& store,
+                       const BlockCollection& blocks,
+                       const PpsOptions& options)
+    : store_(store),
+      blocks_(blocks),
+      index_(blocks_, store.size()),
+      weighter_(blocks_, index_, store, options.scheme),
+      options_(options),
+      checked_(store.size(), false),
+      weights_(store.size(), 0.0) {
+  // Algorithm 5: one pass over every node's neighborhood computes the
+  // duplication likelihood (mean incident-edge weight) and the node's
+  // top-weighted comparison.
+  std::unordered_map<std::uint64_t, Comparison> top_comparisons;
+  for (ProfileId i = 0; i < store_.size(); ++i) {
+    for (BlockId b : index_.BlocksOf(i)) {
+      const double share = weighter_.BlockContribution(b);
+      for (ProfileId j : blocks_.block(b).profiles) {
+        if (j == i || !store_.IsComparable(i, j)) continue;
+        if (weights_[j] == 0.0) touched_.push_back(j);
+        weights_[j] += share;
+      }
+    }
+    if (touched_.empty()) continue;
+
+    double likelihood_sum = 0.0;
+    Comparison top;
+    bool has_top = false;
+    for (ProfileId j : touched_) {
+      const double w = weighter_.Finalize(i, j, weights_[j]);
+      likelihood_sum += w;
+      const Comparison candidate(i, j, w);
+      if (!has_top || ByWeightDesc()(candidate, top)) {
+        top = candidate;
+        has_top = true;
+      }
+      weights_[j] = 0.0;
+    }
+    const double duplication_likelihood =
+        likelihood_sum / static_cast<double>(touched_.size());
+    touched_.clear();
+
+    sorted_profiles_.emplace_back(i, duplication_likelihood);
+    // topComparisonsSet: a set, so the same pair contributed from both
+    // endpoints is stored once.
+    top_comparisons.emplace(PairKey(top.i, top.j), top);
+  }
+
+  // Sort profiles by decreasing duplication likelihood (deterministic tie
+  // on id) and the initial Comparison List by decreasing weight.
+  std::sort(sorted_profiles_.begin(), sorted_profiles_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  for (const auto& [key, comparison] : top_comparisons) {
+    comparisons_.Add(comparison);
+  }
+  comparisons_.SortDescending();
+}
+
+void PpsEmitter::ProcessProfile(ProfileId i) {
+  checked_[i] = true;
+  // Gather unchecked comparable neighbors (Algorithm 6 lines 9-14): a
+  // neighbor that was processed earlier had higher duplication likelihood,
+  // and its Kmax best comparisons already covered this pair with more
+  // reliable evidence.
+  for (BlockId b : index_.BlocksOf(i)) {
+    const double share = weighter_.BlockContribution(b);
+    for (ProfileId j : blocks_.block(b).profiles) {
+      if (j == i || checked_[j] || !store_.IsComparable(i, j)) continue;
+      if (weights_[j] == 0.0) touched_.push_back(j);
+      weights_[j] += share;
+    }
+  }
+
+  // SortedStack (lines 15-18): a bounded min-heap keeps the Kmax
+  // top-weighted comparisons; the lowest is popped on overflow.
+  std::priority_queue<Comparison, std::vector<Comparison>, ByWeightDesc>
+      stack;  // ByWeightDesc as std::priority_queue comparator => min-heap
+  for (ProfileId j : touched_) {
+    const double w = weighter_.Finalize(i, j, weights_[j]);
+    stack.push(Comparison(i, j, w));
+    if (stack.size() > options_.kmax) stack.pop();
+    weights_[j] = 0.0;
+  }
+  touched_.clear();
+
+  comparisons_.Clear();
+  while (!stack.empty()) {
+    comparisons_.Add(stack.top());
+    stack.pop();
+  }
+  comparisons_.SortDescending();
+}
+
+std::optional<Comparison> PpsEmitter::Next() {
+  while (comparisons_.Empty()) {
+    if (cursor_ >= sorted_profiles_.size()) return std::nullopt;
+    ProcessProfile(sorted_profiles_[cursor_++].first);
+  }
+  return comparisons_.PopFirst();
+}
+
+}  // namespace sper

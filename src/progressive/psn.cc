@@ -1,0 +1,28 @@
+#include "progressive/psn.h"
+
+namespace sper {
+
+PsnEmitter::PsnEmitter(const ProfileStore& store, const SchemaKeyFn& key_fn,
+                       const NeighborListOptions& options)
+    : store_(store), list_(NeighborList::BuildSchemaBased(store, key_fn,
+                                                          options)) {}
+
+std::optional<Comparison> PsnEmitter::Next() {
+  while (window_ < list_.size()) {
+    while (pos_ + window_ < list_.size()) {
+      const ProfileId a = list_.at(pos_);
+      const ProfileId b = list_.at(pos_ + window_);
+      ++pos_;
+      if (store_.IsComparable(a, b)) {
+        // The window size is the (inverse) likelihood proxy: pairs from
+        // smaller windows are emitted earlier.
+        return Comparison(a, b, 1.0 / static_cast<double>(window_));
+      }
+    }
+    ++window_;
+    pos_ = 0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sper

@@ -1,0 +1,43 @@
+#ifndef SPER_PROGRESSIVE_PSN_H_
+#define SPER_PROGRESSIVE_PSN_H_
+
+#include "core/profile_store.h"
+#include "core/types.h"
+#include "progressive/emitter.h"
+#include "sorted/neighbor_list.h"
+
+/// \file psn.h
+/// Progressive Sorted Neighborhood (PSN) [4, 5]: the schema-based
+/// state-of-the-art baseline. One hand-crafted blocking key per profile,
+/// profiles sorted by key, and a sliding window of iteratively incremented
+/// size: first all pairs at distance 1, then at distance 2, and so on.
+///
+/// PSN requires domain expertise (or supervised learning) to pick the
+/// blocking key — the very dependence the paper's schema-agnostic methods
+/// remove. Provided as the comparison baseline of Figs. 1 and 9-10.
+
+namespace sper {
+
+/// The schema-based PSN emitter.
+class PsnEmitter : public ProgressiveEmitter {
+ public:
+  /// Initialization phase: builds the schema-based Neighbor List.
+  /// `key_fn` is the literature blocking key for the dataset (e.g.
+  /// Soundex(surname)+initials+zipcode for census, footnote 6).
+  PsnEmitter(const ProfileStore& store, const SchemaKeyFn& key_fn,
+             const NeighborListOptions& options = {});
+
+  std::optional<Comparison> Next() override;
+
+  std::string_view name() const override { return "PSN"; }
+
+ private:
+  const ProfileStore& store_;
+  NeighborList list_;
+  std::size_t window_ = 1;   // current sliding-window size
+  std::size_t pos_ = 0;      // next left endpoint within the window pass
+};
+
+}  // namespace sper
+
+#endif  // SPER_PROGRESSIVE_PSN_H_

@@ -1,0 +1,40 @@
+#include "progressive/sa_psab.h"
+
+namespace sper {
+
+SaPsabEmitter::SaPsabEmitter(const ProfileStore& store,
+                             const SuffixForestOptions& options)
+    : store_(store), forest_(SuffixForest::Build(store, options)) {
+  x_ = 0;
+  y_ = 1;
+}
+
+std::optional<Comparison> SaPsabEmitter::Next() {
+  while (node_ < forest_.nodes().size()) {
+    const SuffixNode& n = forest_.nodes()[node_];
+    while (x_ + 1 < n.profiles.size()) {
+      if (y_ >= n.profiles.size()) {
+        ++x_;
+        y_ = x_ + 1;
+        continue;
+      }
+      const ProfileId a = n.profiles[x_];
+      const ProfileId b = n.profiles[y_];
+      ++y_;
+      if (store_.IsComparable(a, b)) {
+        // All comparisons of a node share its likelihood; we expose the
+        // node's rank-derived score so weights are non-increasing across
+        // nodes.
+        const double weight =
+            1.0 / static_cast<double>(node_ + 1);
+        return Comparison(a, b, weight);
+      }
+    }
+    ++node_;
+    x_ = 0;
+    y_ = 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sper

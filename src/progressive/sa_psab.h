@@ -1,0 +1,52 @@
+#ifndef SPER_PROGRESSIVE_SA_PSAB_H_
+#define SPER_PROGRESSIVE_SA_PSAB_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "blocking/suffix_forest.h"
+#include "core/profile_store.h"
+#include "progressive/emitter.h"
+
+/// \file sa_psab.h
+/// Schema-Agnostic Progressive Suffix Arrays Blocking (SA-PSAB, paper
+/// Sec. 4.2): the naïve block-based method. Every attribute-value token is
+/// expanded into its suffixes of at least `lmin` characters; the resulting
+/// suffix forest is processed "leaves first, root last" — longest suffixes
+/// (the most discriminative blocks) before their shorter ancestors, nodes
+/// of the same layer in increasing number of comparisons.
+///
+/// All comparisons of a node share the node's likelihood; within a node
+/// they are emitted in deterministic member order. Like SA-PSN, the method
+/// makes no provision for repeated comparisons: a pair co-occurring in a
+/// child suffix reappears under every ancestor.
+
+namespace sper {
+
+/// The naïve suffix-forest emitter.
+class SaPsabEmitter : public ProgressiveEmitter {
+ public:
+  /// Initialization phase: builds the suffix forest in processing order.
+  explicit SaPsabEmitter(const ProfileStore& store,
+                         const SuffixForestOptions& options = {});
+
+  /// Emission phase: next valid comparison of the current node, advancing
+  /// through the forest.
+  std::optional<Comparison> Next() override;
+
+  std::string_view name() const override { return "SA-PSAB"; }
+
+  /// The underlying forest (exposed for inspection / tests).
+  const SuffixForest& forest() const { return forest_; }
+
+ private:
+  const ProfileStore& store_;
+  SuffixForest forest_;
+  std::size_t node_ = 0;  // current forest node
+  std::size_t x_ = 0;     // first member cursor
+  std::size_t y_ = 0;     // second member cursor (y_ > x_ invariant on emit)
+};
+
+}  // namespace sper
+
+#endif  // SPER_PROGRESSIVE_SA_PSAB_H_

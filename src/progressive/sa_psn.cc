@@ -1,0 +1,28 @@
+#include "progressive/sa_psn.h"
+
+namespace sper {
+
+SaPsnEmitter::SaPsnEmitter(const ProfileStore& store,
+                           const NeighborListOptions& options)
+    : store_(store),
+      list_(NeighborList::BuildSchemaAgnostic(store, options)) {}
+
+std::optional<Comparison> SaPsnEmitter::Next() {
+  while (window_ < list_.size()) {
+    while (pos_ + window_ < list_.size()) {
+      const ProfileId a = list_.at(pos_);
+      const ProfileId b = list_.at(pos_ + window_);
+      ++pos_;
+      // Valid comparisons involve different profiles (Dirty ER) stemming
+      // from different sources (Clean-Clean ER).
+      if (store_.IsComparable(a, b)) {
+        return Comparison(a, b, 1.0 / static_cast<double>(window_));
+      }
+    }
+    ++window_;
+    pos_ = 0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sper

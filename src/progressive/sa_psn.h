@@ -1,0 +1,45 @@
+#ifndef SPER_PROGRESSIVE_SA_PSN_H_
+#define SPER_PROGRESSIVE_SA_PSN_H_
+
+#include "core/profile_store.h"
+#include "progressive/emitter.h"
+#include "sorted/neighbor_list.h"
+
+/// \file sa_psn.h
+/// Schema-Agnostic Progressive Sorted Neighborhood (SA-PSN, paper
+/// Sec. 4.1): PSN's incrementally-sized sliding window applied to the
+/// schema-agnostic Neighbor List, in which every profile appears once per
+/// distinct attribute-value token.
+///
+/// Parameter-free and cheap, but naïve: the same pair may be emitted many
+/// times (a profile has many placements) and equal-key runs give partially
+/// random ordering (coincidental proximity). The advanced LS/GS-PSN fix
+/// both weaknesses.
+
+namespace sper {
+
+/// The naïve schema-agnostic PSN emitter.
+class SaPsnEmitter : public ProgressiveEmitter {
+ public:
+  /// Initialization phase: builds the schema-agnostic Neighbor List.
+  explicit SaPsnEmitter(const ProfileStore& store,
+                        const NeighborListOptions& options = {});
+
+  /// Emission phase: next pair under the current window; windows grow by
+  /// one once a full pass completes. Repeated pairs are NOT filtered
+  /// (the paper's naïve methods "make no provision for detecting repeated
+  /// comparisons", Sec. 6.2).
+  std::optional<Comparison> Next() override;
+
+  std::string_view name() const override { return "SA-PSN"; }
+
+ private:
+  const ProfileStore& store_;
+  NeighborList list_;
+  std::size_t window_ = 1;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sper
+
+#endif  // SPER_PROGRESSIVE_SA_PSN_H_

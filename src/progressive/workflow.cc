@@ -1,0 +1,17 @@
+#include "progressive/workflow.h"
+
+namespace sper {
+
+BlockCollection BuildTokenWorkflowBlocks(const ProfileStore& store,
+                                         const TokenWorkflowOptions& options) {
+  BlockCollection blocks = TokenBlocking(store, options.token_blocking);
+  if (options.enable_purging) {
+    blocks = BlockPurging(blocks, store.size(), options.purging);
+  }
+  if (options.enable_filtering) {
+    blocks = BlockFiltering(blocks, options.filtering);
+  }
+  return blocks;
+}
+
+}  // namespace sper

@@ -1,0 +1,36 @@
+#ifndef SPER_PROGRESSIVE_WORKFLOW_H_
+#define SPER_PROGRESSIVE_WORKFLOW_H_
+
+#include "blocking/block_collection.h"
+#include "blocking/block_filtering.h"
+#include "blocking/block_purging.h"
+#include "blocking/token_blocking.h"
+#include "core/profile_store.h"
+
+/// \file workflow.h
+/// The Token Blocking Workflow of the paper's experimental setup (Sec. 7):
+///   (1) schema-agnostic Standard (Token) Blocking,
+///   (2) Block Purging   (drop blocks with > 10% of the profiles),
+///   (3) Block Filtering (keep every profile in 80% of its smallest blocks).
+/// The result is the redundancy-positive block collection PBS and PPS
+/// consume (step 4, edge weighting, happens inside those methods).
+
+namespace sper {
+
+/// Options of the Token Blocking Workflow.
+struct TokenWorkflowOptions {
+  TokenBlockingOptions token_blocking;
+  BlockPurgingOptions purging;
+  BlockFilteringOptions filtering;
+  /// Disable individual steps (used by the workflow ablation bench).
+  bool enable_purging = true;
+  bool enable_filtering = true;
+};
+
+/// Runs workflow steps 1-3 and returns the resulting block collection.
+BlockCollection BuildTokenWorkflowBlocks(
+    const ProfileStore& store, const TokenWorkflowOptions& options = {});
+
+}  // namespace sper
+
+#endif  // SPER_PROGRESSIVE_WORKFLOW_H_

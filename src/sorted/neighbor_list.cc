@@ -1,0 +1,65 @@
+#include "sorted/neighbor_list.h"
+
+#include <algorithm>
+#include <random>
+#include <utility>
+
+namespace sper {
+
+// Sorts (key, profile) placements by key — ties keep profile-id order —
+// then optionally shuffles every equal-key run with the seeded RNG.
+NeighborList NeighborList::Assemble(
+    std::vector<std::pair<std::string, ProfileId>> entries,
+    const NeighborListOptions& options) {
+  std::sort(entries.begin(), entries.end());
+
+  if (options.shuffle_ties && !entries.empty()) {
+    std::mt19937_64 rng(options.seed);
+    std::size_t run_start = 0;
+    for (std::size_t pos = 1; pos <= entries.size(); ++pos) {
+      if (pos == entries.size() || entries[pos].first != entries[run_start].first) {
+        if (pos - run_start > 1) {
+          std::shuffle(entries.begin() + run_start, entries.begin() + pos,
+                       rng);
+        }
+        run_start = pos;
+      }
+    }
+  }
+
+  NeighborList list;
+  list.profiles_.reserve(entries.size());
+  list.keys_.reserve(entries.size());
+  for (auto& [key, profile] : entries) {
+    list.profiles_.push_back(profile);
+    list.keys_.push_back(std::move(key));
+  }
+  return list;
+}
+
+NeighborList NeighborList::BuildSchemaAgnostic(
+    const ProfileStore& store, const NeighborListOptions& options) {
+  std::vector<std::pair<std::string, ProfileId>> entries;
+  entries.reserve(store.size() * 8);
+  for (const Profile& p : store.profiles()) {
+    for (std::string& token : DistinctProfileTokens(p, options.tokenizer)) {
+      entries.emplace_back(std::move(token), p.id());
+    }
+  }
+  return Assemble(std::move(entries), options);
+}
+
+NeighborList NeighborList::BuildSchemaBased(
+    const ProfileStore& store, const SchemaKeyFn& key_fn,
+    const NeighborListOptions& options) {
+  std::vector<std::pair<std::string, ProfileId>> entries;
+  entries.reserve(store.size());
+  for (const Profile& p : store.profiles()) {
+    std::string key = key_fn(p);
+    if (key.empty()) continue;
+    entries.emplace_back(std::move(key), p.id());
+  }
+  return Assemble(std::move(entries), options);
+}
+
+}  // namespace sper

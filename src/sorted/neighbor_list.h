@@ -1,0 +1,80 @@
+#ifndef SPER_SORTED_NEIGHBOR_LIST_H_
+#define SPER_SORTED_NEIGHBOR_LIST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/profile_store.h"
+#include "core/tokenizer.h"
+#include "core/types.h"
+
+/// \file neighbor_list.h
+/// The Neighbor List (paper Sec. 3.2): profiles sorted alphabetically by
+/// their blocking keys. It encodes the similarity principle — the closer
+/// two keys sort, the likelier their profiles match.
+///
+/// - Schema-agnostic variant: every profile appears once per distinct
+///   attribute-value token (Fig. 3e), so matches get multiple chances to
+///   land close together.
+/// - Schema-based variant: one hand-crafted key per profile (classic
+///   Sorted Neighborhood / PSN).
+///
+/// Profiles sharing a key land in a random relative order ("coincidental
+/// proximity", Sec. 4.1). We reproduce that with a seeded shuffle inside
+/// every equal-key run, keeping runs reproducible.
+
+namespace sper {
+
+/// Options for Neighbor List construction.
+struct NeighborListOptions {
+  /// How attribute values are split into tokens (schema-agnostic variant).
+  TokenizerOptions tokenizer;
+  /// Shuffle profiles inside equal-key runs (coincidental proximity).
+  bool shuffle_ties = true;
+  /// Seed of the tie shuffle.
+  std::uint64_t seed = 42;
+};
+
+/// An immutable sorted list of profile placements.
+class NeighborList {
+ public:
+  /// Builds the schema-agnostic Neighbor List: one placement per distinct
+  /// token per profile, sorted by token.
+  static NeighborList BuildSchemaAgnostic(
+      const ProfileStore& store, const NeighborListOptions& options = {});
+
+  /// Builds the schema-based Neighbor List: one placement per profile,
+  /// keyed by `key_fn`; profiles with an empty key are skipped.
+  static NeighborList BuildSchemaBased(const ProfileStore& store,
+                                       const SchemaKeyFn& key_fn,
+                                       const NeighborListOptions& options = {});
+
+  /// Number of placements (≥ number of distinct profiles present).
+  std::size_t size() const { return profiles_.size(); }
+
+  bool empty() const { return profiles_.empty(); }
+
+  /// The profile at position `pos`.
+  ProfileId at(std::size_t pos) const { return profiles_[pos]; }
+
+  /// All placements in sorted-key order.
+  const std::vector<ProfileId>& profiles() const { return profiles_; }
+
+  /// The sorted keys, parallel to profiles(). Retained for inspection,
+  /// tests and SA-PSAB-style diagnostics.
+  const std::vector<std::string>& keys() const { return keys_; }
+
+ private:
+  static NeighborList Assemble(
+      std::vector<std::pair<std::string, ProfileId>> entries,
+      const NeighborListOptions& options);
+
+  std::vector<ProfileId> profiles_;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace sper
+
+#endif  // SPER_SORTED_NEIGHBOR_LIST_H_

@@ -1,0 +1,19 @@
+#include "sorted/position_index.h"
+
+namespace sper {
+
+PositionIndex::PositionIndex(const NeighborList& list,
+                             std::size_t num_profiles) {
+  offsets_.assign(num_profiles + 1, 0);
+  for (ProfileId p : list.profiles()) ++offsets_[p + 1];
+  for (std::size_t i = 1; i <= num_profiles; ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+  flat_.resize(offsets_[num_profiles]);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t pos = 0; pos < list.size(); ++pos) {
+    flat_[cursor[list.at(pos)]++] = static_cast<std::uint32_t>(pos);
+  }
+}
+
+}  // namespace sper

@@ -1,0 +1,59 @@
+#ifndef SPER_SORTED_POSITION_INDEX_H_
+#define SPER_SORTED_POSITION_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "sorted/neighbor_list.h"
+
+/// \file position_index.h
+/// The Position Index of Sec. 5.1: an inverted index from profile id to
+/// its positions in the Neighbor List. It lets LS/GS-PSN retrieve the
+/// neighbors of a profile inside the current window without scanning the
+/// list, and it carries |PI[i]| — the placement count that normalizes the
+/// RCF weight. CSR layout, like ProfileIndex.
+
+namespace sper {
+
+/// Inverted index: profile id -> ascending positions in a NeighborList.
+class PositionIndex {
+ public:
+  /// Builds the index for `num_profiles` profiles over `list`.
+  PositionIndex(const NeighborList& list, std::size_t num_profiles);
+
+  /// The ascending Neighbor List positions of profile `p`.
+  std::span<const std::uint32_t> PositionsOf(ProfileId p) const {
+    return {flat_.data() + offsets_[p], flat_.data() + offsets_[p + 1]};
+  }
+
+  /// |PI[p]|: number of placements of profile `p`.
+  std::size_t NumPositionsOf(ProfileId p) const {
+    return offsets_[p + 1] - offsets_[p];
+  }
+
+  /// Number of profiles the index was built for.
+  std::size_t num_profiles() const { return offsets_.size() - 1; }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> flat_;
+};
+
+/// The Relative Co-occurrence Frequency weighting scheme (Sec. 5.1): a
+/// Jaccard-style normalization of how often two profiles co-occur at the
+/// current window distance(s).
+///
+///   RCF(i, j) = freq / (|PI[i]| + |PI[j]| - freq)
+inline double RcfWeight(double freq, std::size_t positions_i,
+                        std::size_t positions_j) {
+  const double denom =
+      static_cast<double>(positions_i) + static_cast<double>(positions_j) -
+      freq;
+  return denom > 0 ? freq / denom : 0.0;
+}
+
+}  // namespace sper
+
+#endif  // SPER_SORTED_POSITION_INDEX_H_

@@ -1,0 +1,112 @@
+// Unit tests for src/io: CSV escaping/parsing and dataset round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "io/csv.h"
+#include "io/dataset_io.h"
+
+namespace sper {
+namespace {
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, PlainFieldIsUnquoted) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+}
+
+TEST(CsvTest, CommaAndQuoteAreQuoted) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quote\"", "", "end"};
+  EXPECT_EQ(CsvSplit(CsvJoin(fields)), fields);
+}
+
+TEST(CsvTest, SplitHandlesEmptyFields) {
+  EXPECT_EQ(CsvSplit(",,"), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, SplitHandlesQuotedComma) {
+  EXPECT_EQ(CsvSplit("a,\"b,c\",d"),
+            (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+// ------------------------------------------------------------ Dataset IO
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "sper_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DatasetIoTest, DirtyProfilesRoundTrip) {
+  std::vector<Profile> ps(2);
+  ps[0].AddAttribute("name", "carl, the \"tailor\"");
+  ps[0].AddAttribute("city", "ny");
+  ps[1].AddAttribute("name", "ellen");
+  ProfileStore store = ProfileStore::MakeDirty(std::move(ps));
+
+  ASSERT_TRUE(WriteProfilesCsv(store, Path("p.csv")).ok());
+  Result<ProfileStore> loaded = ReadProfilesCsv(Path("p.csv"), ErType::kDirty);
+  ASSERT_TRUE(loaded.ok());
+  const ProfileStore& got = loaded.value();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got.profile(0).ValueOf("name"), "carl, the \"tailor\"");
+  EXPECT_EQ(got.profile(0).ValueOf("city"), "ny");
+  EXPECT_EQ(got.profile(1).ValueOf("name"), "ellen");
+}
+
+TEST_F(DatasetIoTest, CleanCleanProfilesPreserveSources) {
+  std::vector<Profile> s1(1), s2(2);
+  s1[0].AddAttribute("a", "x");
+  s2[0].AddAttribute("b", "y");
+  s2[1].AddAttribute("c", "z");
+  ProfileStore store =
+      ProfileStore::MakeCleanClean(std::move(s1), std::move(s2));
+
+  ASSERT_TRUE(WriteProfilesCsv(store, Path("cc.csv")).ok());
+  Result<ProfileStore> loaded =
+      ReadProfilesCsv(Path("cc.csv"), ErType::kCleanClean);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().source1_size(), 1u);
+  EXPECT_EQ(loaded.value().source2_size(), 2u);
+  EXPECT_EQ(loaded.value().profile(1).ValueOf("b"), "y");
+}
+
+TEST_F(DatasetIoTest, GroundTruthRoundTrip) {
+  GroundTruth truth;
+  truth.AddMatch(0, 5);
+  truth.AddMatch(3, 1);
+  ASSERT_TRUE(WriteGroundTruthCsv(truth, Path("gt.csv")).ok());
+  Result<GroundTruth> loaded = ReadGroundTruthCsv(Path("gt.csv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_matches(), 2u);
+  EXPECT_TRUE(loaded.value().AreMatching(5, 0));
+  EXPECT_TRUE(loaded.value().AreMatching(1, 3));
+}
+
+TEST_F(DatasetIoTest, MissingFileYieldsIoError) {
+  Result<ProfileStore> r =
+      ReadProfilesCsv(Path("does_not_exist.csv"), ErType::kDirty);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  Result<GroundTruth> g = ReadGroundTruthCsv(Path("nope.csv"));
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace sper

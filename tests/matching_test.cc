@@ -1,0 +1,109 @@
+// Unit tests for src/matching: Levenshtein, Jaccard and the MatchFunction
+// implementations of Sec. 7.3.
+
+#include <gtest/gtest.h>
+
+#include "matching/jaccard.h"
+#include "matching/levenshtein.h"
+#include "matching/match_function.h"
+
+namespace sper {
+namespace {
+
+// ------------------------------------------------------------ Levenshtein
+
+TEST(LevenshteinTest, IdenticalStringsHaveZeroDistance) {
+  EXPECT_EQ(LevenshteinDistance("tailor", "tailor"), 0u);
+}
+
+TEST(LevenshteinTest, ClassicExamples) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("carl", "karl"), 1u);
+}
+
+TEST(LevenshteinTest, EmptyStringCostsFullLength) {
+  EXPECT_EQ(LevenshteinDistance("", "abcde"), 5u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+}
+
+TEST(LevenshteinTest, IsSymmetric) {
+  EXPECT_EQ(LevenshteinDistance("white", "whyte"),
+            LevenshteinDistance("whyte", "white"));
+}
+
+TEST(LevenshteinTest, SimilarityNormalizesByLongerString) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("carl", "karl"), 0.75);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("ab", "cdef"), 0.0);
+}
+
+// ---------------------------------------------------------------- Jaccard
+
+TEST(JaccardTest, DisjointSetsScoreZero) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"c", "d"}), 0.0);
+}
+
+TEST(JaccardTest, IdenticalSetsScoreOne) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // |{b}| / |{a, b, c}|
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+}
+
+TEST(JaccardTest, EmptySets) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+}
+
+// --------------------------------------------------------- MatchFunctions
+
+ProfileStore TwoProfileStore() {
+  std::vector<Profile> ps(3);
+  ps[0].AddAttribute("name", "carl white");
+  ps[0].AddAttribute("job", "tailor");
+  ps[1].AddAttribute("name", "karl white");
+  ps[1].AddAttribute("job", "tailor");
+  ps[2].AddAttribute("name", "ellen smith");
+  ps[2].AddAttribute("job", "teacher");
+  return ProfileStore::MakeDirty(std::move(ps));
+}
+
+TEST(MatchFunctionTest, EditDistanceRanksNearDuplicateHigher) {
+  ProfileStore store = TwoProfileStore();
+  EditDistanceMatch match(store);
+  EXPECT_GT(match.Similarity(0, 1), match.Similarity(0, 2));
+  EXPECT_EQ(match.name(), "edit-distance");
+}
+
+TEST(MatchFunctionTest, JaccardRanksNearDuplicateHigher) {
+  ProfileStore store = TwoProfileStore();
+  JaccardMatch match(store);
+  EXPECT_GT(match.Similarity(0, 1), match.Similarity(0, 2));
+  // {karl, white, tailor} vs {carl, white, tailor}: 2 shared of 4.
+  EXPECT_DOUBLE_EQ(match.Similarity(0, 1), 0.5);
+}
+
+TEST(MatchFunctionTest, OracleFollowsGroundTruth) {
+  ProfileStore store = TwoProfileStore();
+  GroundTruth truth;
+  truth.AddMatch(0, 1);
+  OracleMatch match(truth);
+  EXPECT_DOUBLE_EQ(match.Similarity(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(match.Similarity(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(match.Similarity(0, 2), 0.0);
+}
+
+TEST(MatchFunctionTest, SimilarityIsSymmetric) {
+  ProfileStore store = TwoProfileStore();
+  EditDistanceMatch ed(store);
+  JaccardMatch js(store);
+  EXPECT_DOUBLE_EQ(ed.Similarity(0, 2), ed.Similarity(2, 0));
+  EXPECT_DOUBLE_EQ(js.Similarity(0, 2), js.Similarity(2, 0));
+}
+
+}  // namespace
+}  // namespace sper

@@ -1,0 +1,222 @@
+// Unit tests for src/metablocking: the weighting schemes, the materialized
+// blocking graph, and the batch pruning substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocking/token_blocking.h"
+#include "metablocking/blocking_graph.h"
+#include "metablocking/edge_weighting.h"
+#include "metablocking/pruning.h"
+
+namespace sper {
+namespace {
+
+// A fixture with a hand-computable block structure:
+//   b0 "x" {0,1}        ||b0|| = 1
+//   b1 "y" {0,1,2}      ||b1|| = 3
+//   b2 "z" {1,2,3}      ||b2|| = 3
+struct Fixture {
+  Fixture()
+      : store(MakeStore()), blocks(MakeBlocks()), index(blocks, 4) {}
+
+  static ProfileStore MakeStore() {
+    std::vector<Profile> ps(4);
+    ps[0].AddAttribute("v", "x y");
+    ps[1].AddAttribute("v", "x y z");
+    ps[2].AddAttribute("v", "y z");
+    ps[3].AddAttribute("v", "z");
+    return ProfileStore::MakeDirty(std::move(ps));
+  }
+  static BlockCollection MakeBlocks() {
+    BlockCollection bc(ErType::kDirty, 4);
+    bc.Add(Block{"x", {0, 1}});
+    bc.Add(Block{"y", {0, 1, 2}});
+    bc.Add(Block{"z", {1, 2, 3}});
+    return bc;
+  }
+
+  ProfileStore store;
+  BlockCollection blocks;
+  ProfileIndex index;
+};
+
+TEST(EdgeWeightingTest, ParseAndToStringRoundTrip) {
+  for (const char* name : {"arcs", "cbs", "js", "ecbs", "ejs"}) {
+    EXPECT_STREQ(ToString(ParseWeightingScheme(name)), name);
+  }
+}
+
+TEST(EdgeWeightingTest, ArcsSumsInverseCardinalities) {
+  Fixture f;
+  EdgeWeighter w(f.blocks, f.index, f.store, WeightingScheme::kArcs);
+  // c01 shares b0 (1/1) and b1 (1/3).
+  EXPECT_DOUBLE_EQ(w.Weight(0, 1), 1.0 + 1.0 / 3.0);
+  // c12 shares b1 (1/3) and b2 (1/3).
+  EXPECT_DOUBLE_EQ(w.Weight(1, 2), 2.0 / 3.0);
+  // c03 shares nothing.
+  EXPECT_DOUBLE_EQ(w.Weight(0, 3), 0.0);
+}
+
+TEST(EdgeWeightingTest, CbsCountsCommonBlocks) {
+  Fixture f;
+  EdgeWeighter w(f.blocks, f.index, f.store, WeightingScheme::kCbs);
+  EXPECT_DOUBLE_EQ(w.Weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(w.Weight(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(w.Weight(0, 3), 0.0);
+}
+
+TEST(EdgeWeightingTest, JsIsJaccardOfBlockLists) {
+  Fixture f;
+  EdgeWeighter w(f.blocks, f.index, f.store, WeightingScheme::kJs);
+  // |B0|=2, |B1|=3, common 2 -> 2 / (2+3-2).
+  EXPECT_DOUBLE_EQ(w.Weight(0, 1), 2.0 / 3.0);
+  // |B2|=2, |B3|=1, common 1 -> 1 / 2.
+  EXPECT_DOUBLE_EQ(w.Weight(2, 3), 0.5);
+}
+
+TEST(EdgeWeightingTest, EcbsDiscountsBusyProfiles) {
+  Fixture f;
+  EdgeWeighter w(f.blocks, f.index, f.store, WeightingScheme::kEcbs);
+  // CBS * log10(|B|/|B_i|) * log10(|B|/|B_j|); |B| = 3.
+  const double expected =
+      2.0 * std::log10(3.0 / 2.0) * std::log10(3.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.Weight(0, 1), expected);  // == 0: p1 is in every block
+  EXPECT_GT(w.Weight(2, 3), 0.0);
+}
+
+TEST(EdgeWeightingTest, EjsIsFiniteAndOrdersPlausibly) {
+  Fixture f;
+  EdgeWeighter w(f.blocks, f.index, f.store, WeightingScheme::kEjs);
+  // Degrees: p0 -> {1,2}, p1 -> {0,2,3}, p2 -> {0,1,3}, p3 -> {1,2}.
+  // All weights must be finite and non-negative.
+  for (ProfileId i = 0; i < 4; ++i) {
+    for (ProfileId j = i + 1; j < 4; ++j) {
+      const double weight = w.Weight(i, j);
+      EXPECT_TRUE(std::isfinite(weight));
+      EXPECT_GE(weight, 0.0);
+    }
+  }
+}
+
+TEST(EdgeWeightingTest, BlockContributionAndFinalizeComposeToWeight) {
+  Fixture f;
+  for (WeightingScheme scheme :
+       {WeightingScheme::kArcs, WeightingScheme::kCbs, WeightingScheme::kJs,
+        WeightingScheme::kEcbs}) {
+    EdgeWeighter w(f.blocks, f.index, f.store, scheme);
+    double acc = 0.0;
+    f.index.ForEachCommonBlock(
+        1, 2, [&](BlockId b) { acc += w.BlockContribution(b); });
+    EXPECT_DOUBLE_EQ(w.Finalize(1, 2, acc), w.Weight(1, 2))
+        << "scheme " << ToString(scheme);
+  }
+}
+
+TEST(EdgeWeightingTest, WeightIsSymmetric) {
+  Fixture f;
+  for (WeightingScheme scheme :
+       {WeightingScheme::kArcs, WeightingScheme::kCbs, WeightingScheme::kJs,
+        WeightingScheme::kEcbs, WeightingScheme::kEjs}) {
+    EdgeWeighter w(f.blocks, f.index, f.store, scheme);
+    EXPECT_DOUBLE_EQ(w.Weight(0, 2), w.Weight(2, 0));
+  }
+}
+
+// ----------------------------------------------------------- BlockingGraph
+
+TEST(BlockingGraphTest, MaterializesDistinctEdges) {
+  Fixture f;
+  BlockingGraph graph = BlockingGraph::Build(f.blocks, f.index, f.store,
+                                             WeightingScheme::kCbs);
+  // Edges: 01, 02, 12, 13, 23 (03 shares no block).
+  EXPECT_EQ(graph.num_edges(), 5u);
+  EXPECT_EQ(graph.num_nodes(), 4u);
+  for (const Comparison& e : graph.edges()) {
+    EXPECT_LT(e.i, e.j);
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(BlockingGraphTest, EdgesSortedByPair) {
+  Fixture f;
+  BlockingGraph graph = BlockingGraph::Build(f.blocks, f.index, f.store,
+                                             WeightingScheme::kArcs);
+  for (std::size_t k = 1; k < graph.edges().size(); ++k) {
+    const Comparison& prev = graph.edges()[k - 1];
+    const Comparison& curr = graph.edges()[k];
+    EXPECT_TRUE(prev.i < curr.i || (prev.i == curr.i && prev.j < curr.j));
+  }
+}
+
+TEST(BlockingGraphTest, CleanCleanGraphHasOnlyCrossSourceEdges) {
+  std::vector<Profile> s1(2), s2(2);
+  s1[0].AddAttribute("v", "x");
+  s1[1].AddAttribute("v", "x y");
+  s2[0].AddAttribute("v", "x");
+  s2[1].AddAttribute("v", "y");
+  ProfileStore store =
+      ProfileStore::MakeCleanClean(std::move(s1), std::move(s2));
+  BlockCollection blocks = TokenBlocking(store);
+  ProfileIndex index(blocks, store.size());
+  BlockingGraph graph =
+      BlockingGraph::Build(blocks, index, store, WeightingScheme::kCbs);
+  for (const Comparison& e : graph.edges()) {
+    EXPECT_TRUE(store.IsComparable(e.i, e.j));
+  }
+  // x: {0,1}x{2}; y: {1}x{3} -> edges 02, 12, 13.
+  EXPECT_EQ(graph.num_edges(), 3u);
+}
+
+TEST(BlockingGraphTest, MeanEdgeWeight) {
+  Fixture f;
+  BlockingGraph graph = BlockingGraph::Build(f.blocks, f.index, f.store,
+                                             WeightingScheme::kCbs);
+  // CBS weights: c01=2, c02=1, c12=2, c13=1, c23=1 -> mean 7/5.
+  EXPECT_DOUBLE_EQ(graph.MeanEdgeWeight(), 7.0 / 5.0);
+}
+
+// ---------------------------------------------------------------- Pruning
+
+TEST(PruningTest, WepKeepsEdgesAtOrAboveMean) {
+  Fixture f;
+  BlockingGraph graph = BlockingGraph::Build(f.blocks, f.index, f.store,
+                                             WeightingScheme::kCbs);
+  std::vector<Comparison> kept = WeightEdgePruning(graph);
+  // Mean = 1.4; edges with weight 2 survive: c01 and c12.
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].i, 0u);
+  EXPECT_EQ(kept[0].j, 1u);
+  EXPECT_EQ(kept[1].i, 1u);
+  EXPECT_EQ(kept[1].j, 2u);
+}
+
+TEST(PruningTest, CnpRetainsTopEdgesPerNode) {
+  Fixture f;
+  BlockingGraph graph = BlockingGraph::Build(f.blocks, f.index, f.store,
+                                             WeightingScheme::kCbs);
+  std::vector<Comparison> kept = CardinalityNodePruning(graph);
+  // Every node keeps >= 1 edge, so no node is isolated.
+  std::vector<bool> covered(4, false);
+  for (const Comparison& e : kept) covered[e.i] = covered[e.j] = true;
+  for (bool c : covered) EXPECT_TRUE(c);
+  // Pruning must be a subset of the graph.
+  EXPECT_LE(kept.size(), graph.num_edges());
+}
+
+TEST(PruningTest, EmptyGraphYieldsNoEdges) {
+  BlockCollection bc(ErType::kDirty, 2);
+  ProfileIndex index(bc, 2);
+  std::vector<Profile> ps(2);
+  ps[0].AddAttribute("v", "a");
+  ps[1].AddAttribute("v", "b");
+  ProfileStore store = ProfileStore::MakeDirty(std::move(ps));
+  BlockingGraph graph =
+      BlockingGraph::Build(bc, index, store, WeightingScheme::kArcs);
+  EXPECT_TRUE(WeightEdgePruning(graph).empty());
+  EXPECT_TRUE(CardinalityNodePruning(graph).empty());
+}
+
+}  // namespace
+}  // namespace sper

@@ -1,0 +1,366 @@
+// Literal reproduction of the paper's worked examples (Figs. 3-8) on the
+// six-profile data lake of Fig. 3a. Paper profiles p1..p6 are ids 0..5
+// here. Where the paper leaves tie order unspecified ("we chose a random
+// permutation ... without affecting the end result"), the library's
+// documented deterministic tie-breaks apply and are asserted instead.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "blocking/token_blocking.h"
+#include "metablocking/edge_weighting.h"
+#include "progressive/ls_psn.h"
+#include "progressive/pbs.h"
+#include "progressive/pps.h"
+#include "progressive/psn.h"
+#include "progressive/sa_psn.h"
+#include "sorted/neighbor_list.h"
+
+namespace sper {
+namespace {
+
+using Pair = std::pair<ProfileId, ProfileId>;
+
+/// Fig. 3a: a data lake with relational (p1, p4), RDF (p2, p3) and
+/// free-text (p5, p6) profiles. Matches: p1=p2=p3 and p4=p5.
+ProfileStore Fig3aStore() {
+  std::vector<Profile> ps(6);
+  ps[0].AddAttribute("Name", "Carl");
+  ps[0].AddAttribute("Surname", "White");
+  ps[0].AddAttribute("City", "NY");
+  ps[0].AddAttribute("Profession", "Tailor");
+  ps[1].AddAttribute("subject", ":Carl_White");
+  ps[1].AddAttribute("livesIn", "NY");
+  ps[1].AddAttribute("workAs", "Tailor");
+  ps[2].AddAttribute("subject", ":Karl_White");
+  ps[2].AddAttribute("job", "Tailor");
+  ps[2].AddAttribute("loc", "NY");
+  ps[3].AddAttribute("Name", "Ellen");
+  ps[3].AddAttribute("Surname", "White");
+  ps[3].AddAttribute("City", "ML");
+  ps[3].AddAttribute("Profession", "Teacher");
+  ps[4].AddAttribute("text", "Hellen White, ML teacher");
+  ps[5].AddAttribute("text", "Emma White, WI Tailor");
+  return ProfileStore::MakeDirty(std::move(ps));
+}
+
+NeighborListOptions NoShuffle() {
+  NeighborListOptions options;
+  options.shuffle_ties = false;
+  return options;
+}
+
+std::vector<Pair> Drain(ProgressiveEmitter& emitter, std::size_t limit) {
+  std::vector<Pair> out;
+  while (out.size() < limit) {
+    std::optional<Comparison> c = emitter.Next();
+    if (!c.has_value()) break;
+    out.emplace_back(c->i, c->j);
+  }
+  return out;
+}
+
+// ------------------------------------------------- Fig. 3b: Token Blocking
+
+TEST(PaperFig3Test, TokenBlockingProducesTheSixBlocks) {
+  BlockCollection blocks = TokenBlocking(Fig3aStore());
+  std::map<std::string, std::vector<ProfileId>> map;
+  for (const Block& b : blocks.blocks()) map[b.key] = b.profiles;
+
+  ASSERT_EQ(map.size(), 6u);
+  EXPECT_EQ(map["carl"], (std::vector<ProfileId>{0, 1}));
+  EXPECT_EQ(map["ml"], (std::vector<ProfileId>{3, 4}));
+  EXPECT_EQ(map["ny"], (std::vector<ProfileId>{0, 1, 2}));
+  EXPECT_EQ(map["tailor"], (std::vector<ProfileId>{0, 1, 2, 5}));
+  EXPECT_EQ(map["teacher"], (std::vector<ProfileId>{3, 4}));
+  EXPECT_EQ(map["white"], (std::vector<ProfileId>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(PaperFig3Test, BlockSizeAndCardinalityOfTailor) {
+  // Sec. 3: |b_tailor| = 4 and ||b_tailor|| = C(4,2) = 6.
+  BlockCollection blocks = TokenBlocking(Fig3aStore());
+  for (BlockId id = 0; id < blocks.size(); ++id) {
+    if (blocks.block(id).key == "tailor") {
+      EXPECT_EQ(blocks.block(id).size(), 4u);
+      EXPECT_EQ(blocks.Cardinality(id), 6u);
+    }
+  }
+}
+
+// ---------------------------------------------- Fig. 3c: ARCS edge weights
+
+TEST(PaperFig3Test, ArcsWeightsMatchTheBlockingGraph) {
+  ProfileStore store = Fig3aStore();
+  BlockCollection blocks = TokenBlocking(store);
+  ProfileIndex index(blocks, store.size());
+  EdgeWeighter weighter(blocks, index, store, WeightingScheme::kArcs);
+
+  // c12 = 1/1 + 1/3 + 1/6 + 1/15 = 1.5667 (the paper prints 1.57).
+  EXPECT_NEAR(weighter.Weight(0, 1), 1.5667, 1e-4);
+  // c45 = 1/1 + 1/1 + 1/15 = 2.0667 (2.07).
+  EXPECT_NEAR(weighter.Weight(3, 4), 2.0667, 1e-4);
+  // c13 = c23 = 1/3 + 1/6 + 1/15 = 0.5667 (0.57).
+  EXPECT_NEAR(weighter.Weight(0, 2), 0.5667, 1e-4);
+  EXPECT_NEAR(weighter.Weight(1, 2), 0.5667, 1e-4);
+  // c16 = c26 = c36 = 1/6 + 1/15 = 0.2333 (0.23).
+  EXPECT_NEAR(weighter.Weight(0, 5), 0.2333, 1e-4);
+  EXPECT_NEAR(weighter.Weight(1, 5), 0.2333, 1e-4);
+  EXPECT_NEAR(weighter.Weight(2, 5), 0.2333, 1e-4);
+  // All remaining pairs share only 'white': 1/15 = 0.0667 (0.07).
+  for (const Pair& p : std::vector<Pair>{{0, 3}, {0, 4}, {1, 3}, {1, 4},
+                                         {2, 3}, {2, 4}, {3, 5}, {4, 5}}) {
+    EXPECT_NEAR(weighter.Weight(p.first, p.second), 0.0667, 1e-4);
+  }
+}
+
+// --------------------------------------- Fig. 3d/3e: sorted keys and the NL
+
+TEST(PaperFig3Test, NeighborListKeysAreTheSortedTokens) {
+  NeighborList list =
+      NeighborList::BuildSchemaAgnostic(Fig3aStore(), NoShuffle());
+  // 24 placements; distinct keys in Fig. 3d order.
+  ASSERT_EQ(list.size(), 24u);
+  const std::vector<std::string> expected_distinct = {
+      "carl", "ellen", "emma", "hellen", "karl", "ml",
+      "ny",   "tailor", "teacher", "white", "wi"};
+  std::vector<std::string> distinct;
+  for (const std::string& k : list.keys()) {
+    if (distinct.empty() || distinct.back() != k) distinct.push_back(k);
+  }
+  EXPECT_EQ(distinct, expected_distinct);
+}
+
+TEST(PaperFig3Test, NeighborListRunsContainTheRightProfiles) {
+  NeighborList list =
+      NeighborList::BuildSchemaAgnostic(Fig3aStore(), NoShuffle());
+  // With deterministic tie order (profile id), the full list is:
+  const std::vector<ProfileId> expected = {
+      0, 1,              // carl
+      3,                 // ellen
+      5,                 // emma
+      4,                 // hellen
+      2,                 // karl
+      3, 4,              // ml
+      0, 1, 2,           // ny
+      0, 1, 2, 5,        // tailor
+      3, 4,              // teacher
+      0, 1, 2, 3, 4, 5,  // white
+      5,                 // wi
+  };
+  EXPECT_EQ(list.profiles(), expected);
+}
+
+// ----------------------------------------------------------- Fig. 4a: PSN
+
+TEST(PaperFig4Test, PsnEmissionOrderAndWindowGrowth) {
+  // Fig. 4a assumes the schema of p1/p4 describes every profile; the
+  // blocking key concatenates the surname and the first 2 name letters.
+  std::vector<Profile> ps(6);
+  auto add = [&](int idx, const char* name, const char* surname) {
+    ps[idx].AddAttribute("Name", name);
+    ps[idx].AddAttribute("Surname", surname);
+  };
+  add(0, "Carl", "White");
+  add(1, "Carl", "White");
+  add(2, "Karl", "White");
+  add(3, "Ellen", "White");
+  add(4, "Hellen", "White");
+  add(5, "Emma", "White");
+  ProfileStore store = ProfileStore::MakeDirty(std::move(ps));
+
+  SchemaKeyFn key = [](const Profile& p) {
+    std::string k(p.ValueOf("Surname"));
+    k += p.ValueOf("Name").substr(0, 2);
+    for (char& c : k) c = static_cast<char>(std::tolower(c));
+    return k;
+  };
+  // Sorted keys: whiteca(p1), whiteca(p2), whiteel(p4), whiteem(p6),
+  // whitehe(p5), whiteka(p3) — exactly Fig. 4a's list p1,p2,p4,p6,p5,p3.
+  PsnEmitter psn(store, key, NoShuffle());
+  std::vector<Pair> emissions = Drain(psn, 100);
+
+  // 15 total comparisons: 5+4+3+2+1 over windows 1..5.
+  ASSERT_EQ(emissions.size(), 15u);
+  EXPECT_EQ(emissions[0], (Pair{0, 1}));   // 1st: c12 (window 1)
+  EXPECT_EQ(emissions[7], (Pair{3, 4}));   // 8th: c45 (window 2)
+  // c23 is the second window-4 comparison, i.e. the 14th emission (the
+  // figure labels it "13rd" but its own 15-comparison total places it
+  // here: 5 + 4 + 3 window-1..3 emissions precede window 4).
+  EXPECT_EQ(emissions[13], (Pair{1, 2}));
+  EXPECT_EQ(emissions[14], (Pair{0, 2}));  // 15th: c13 (window 5) — the
+                                           // final pair of matches.
+}
+
+// -------------------------------------------------------- Fig. 4b: SA-PSN
+
+TEST(PaperFig4Test, SaPsnFirstWindowAndRepeatedEmissions) {
+  ProfileStore store = Fig3aStore();
+  SaPsnEmitter sa_psn(store, NoShuffle());
+  std::vector<Pair> emissions = Drain(sa_psn, 22);
+
+  // First window-1 sweep over the 24-placement Neighbor List.
+  EXPECT_EQ(emissions[0], (Pair{0, 1}));  // 1st: c12
+  EXPECT_EQ(emissions[6], (Pair{3, 4}));  // 7th: c45 (paper: 7th)
+  // The same pair recurs within one window (repeated comparisons are not
+  // filtered): c12 is both the 1st and the 9th emission, as in Sec. 4.1.
+  EXPECT_EQ(emissions[8], (Pair{0, 1}));
+  // All four matching pairs surface already in window 1.
+  std::vector<bool> found(4, false);
+  const std::vector<Pair> matches = {{0, 1}, {0, 2}, {1, 2}, {3, 4}};
+  for (std::size_t k = 0; k < emissions.size(); ++k) {
+    for (std::size_t m = 0; m < matches.size(); ++m) {
+      if (emissions[k] == matches[m]) found[m] = true;
+    }
+  }
+  for (bool f : found) EXPECT_TRUE(f);
+}
+
+// -------------------------------------------------------- Fig. 6: LS-PSN
+
+TEST(PaperFig6Test, LsPsnWindowOneOrdersDuplicatesFirst) {
+  ProfileStore store = Fig3aStore();
+  LsPsnEmitter ls_psn(store, NoShuffle());
+
+  // Window-1 RCF weights (hand-derived for the deterministic NL):
+  //   c12: freq 4 -> 4/(4+4-4) = 1.0
+  //   c23: freq 3 -> 3/(4+4-3) = 0.6
+  //   c45: freq 3 -> 0.6
+  // "The first three comparisons correspond to the three pairs of
+  // duplicate profiles" (Example 4).
+  std::optional<Comparison> c1 = ls_psn.Next();
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ((Pair{c1->i, c1->j}), (Pair{0, 1}));
+  EXPECT_DOUBLE_EQ(c1->weight, 1.0);
+
+  std::optional<Comparison> c2 = ls_psn.Next();
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ((Pair{c2->i, c2->j}), (Pair{1, 2}));
+  EXPECT_DOUBLE_EQ(c2->weight, 0.6);
+
+  std::optional<Comparison> c3 = ls_psn.Next();
+  ASSERT_TRUE(c3.has_value());
+  EXPECT_EQ((Pair{c3->i, c3->j}), (Pair{3, 4}));
+  EXPECT_DOUBLE_EQ(c3->weight, 0.6);
+
+  EXPECT_EQ(ls_psn.window(), 1u);
+}
+
+TEST(PaperFig6Test, LsPsnGrowsTheWindowWhenTheListEmpties) {
+  ProfileStore store = Fig3aStore();
+  LsPsnEmitter ls_psn(store, NoShuffle());
+  // Window 1 yields exactly 11 distinct-weighted comparisons (hand count
+  // of adjacent pairs in the deterministic Neighbor List); the 12th
+  // emission must come from window 2.
+  for (int k = 0; k < 11; ++k) {
+    ASSERT_TRUE(ls_psn.Next().has_value());
+    EXPECT_EQ(ls_psn.window(), 1u);
+  }
+  ASSERT_TRUE(ls_psn.Next().has_value());
+  EXPECT_EQ(ls_psn.window(), 2u);
+}
+
+// ----------------------------------------------------------- Fig. 7: PBS
+
+TEST(PaperFig7Test, PbsProcessesBlocksByCardinalityAndDeduplicates) {
+  ProfileStore store = Fig3aStore();
+  BlockCollection blocks = TokenBlocking(store);
+  PbsEmitter pbs(store, blocks);
+
+  // Scheduled order (cardinality, then key): carl(1), ml(1), teacher(1),
+  // ny(3), tailor(6), white(15).
+  const BlockCollection& scheduled = pbs.scheduled_blocks();
+  ASSERT_EQ(scheduled.size(), 6u);
+  EXPECT_EQ(scheduled.block(0).key, "carl");
+  EXPECT_EQ(scheduled.block(1).key, "ml");
+  EXPECT_EQ(scheduled.block(2).key, "teacher");
+  EXPECT_EQ(scheduled.block(3).key, "ny");
+  EXPECT_EQ(scheduled.block(4).key, "tailor");
+  EXPECT_EQ(scheduled.block(5).key, "white");
+
+  std::vector<Pair> emissions = Drain(pbs, 100);
+  // Example 5: c45 satisfies LeCoBI in b_ml (emitted) and is discarded in
+  // b_teacher; every pair is emitted exactly once -> C(6,2) = 15 total.
+  ASSERT_EQ(emissions.size(), 15u);
+  EXPECT_EQ(emissions[0], (Pair{0, 1}));  // carl
+  EXPECT_EQ(emissions[1], (Pair{3, 4}));  // ml (weight 2.07 in Fig. 7)
+  EXPECT_EQ(emissions[2], (Pair{0, 2}));  // ny (ties broken by pair)
+  EXPECT_EQ(emissions[3], (Pair{1, 2}));  // ny
+  EXPECT_EQ(emissions[4], (Pair{0, 5}));  // tailor
+  EXPECT_EQ(emissions[5], (Pair{1, 5}));
+  EXPECT_EQ(emissions[6], (Pair{2, 5}));
+  // No repeats overall.
+  std::set<Pair> distinct(emissions.begin(), emissions.end());
+  EXPECT_EQ(distinct.size(), emissions.size());
+}
+
+// ----------------------------------------------------------- Fig. 8: PPS
+
+TEST(PaperFig8Test, PpsInitializationListsMatchTheExample) {
+  ProfileStore store = Fig3aStore();
+  BlockCollection blocks = TokenBlocking(store);
+  PpsOptions options;
+  options.kmax = 2;
+  PpsEmitter pps(store, blocks, options);
+
+  // Duplication likelihoods (mean incident ARCS weight):
+  //   p1 = p2 = 2.5/5 = 0.50; p4 = p5 = 2.3333/5 = 0.4667;
+  //   p3 = 1.5/5 = 0.30;      p6 = 0.8333/5 = 0.1667.
+  const auto& sorted = pps.sorted_profiles();
+  ASSERT_EQ(sorted.size(), 6u);
+  EXPECT_EQ(sorted[0].first, 0u);
+  EXPECT_NEAR(sorted[0].second, 0.50, 1e-3);
+  EXPECT_EQ(sorted[1].first, 1u);
+  EXPECT_EQ(sorted[2].first, 3u);
+  EXPECT_NEAR(sorted[2].second, 0.4667, 1e-3);
+  EXPECT_EQ(sorted[3].first, 4u);
+  EXPECT_EQ(sorted[4].first, 2u);
+  EXPECT_NEAR(sorted[4].second, 0.30, 1e-3);
+  EXPECT_EQ(sorted[5].first, 5u);
+  EXPECT_NEAR(sorted[5].second, 0.1667, 1e-3);
+
+  // The initial Comparison List holds every node's top comparison, sorted:
+  // c45 (2.07), c12 (1.57), then one of the tied 0.57/0.23 edges per node
+  // (deterministic tie-break picks c13 and c16; the paper's Fig. 8a shows
+  // the equally-weighted c23 and c61).
+  std::optional<Comparison> e1 = pps.Next();
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ((Pair{e1->i, e1->j}), (Pair{3, 4}));
+  EXPECT_NEAR(e1->weight, 2.0667, 1e-3);
+  std::optional<Comparison> e2 = pps.Next();
+  EXPECT_EQ((Pair{e2->i, e2->j}), (Pair{0, 1}));
+  std::optional<Comparison> e3 = pps.Next();
+  EXPECT_EQ((Pair{e3->i, e3->j}), (Pair{0, 2}));
+  std::optional<Comparison> e4 = pps.Next();
+  EXPECT_EQ((Pair{e4->i, e4->j}), (Pair{0, 5}));
+}
+
+TEST(PaperFig8Test, PpsEmissionSkipsCheckedEntitiesAndMayRepeat) {
+  ProfileStore store = Fig3aStore();
+  BlockCollection blocks = TokenBlocking(store);
+  PpsOptions options;
+  options.kmax = 2;
+  PpsEmitter pps(store, blocks, options);
+  std::vector<Pair> emissions = Drain(pps, 100);
+
+  // Hand-derived full sequence: 4 init emissions, then the k=2 best of
+  // p1, p2, p4, p5, p3, p6 in Sorted-Profile-List order, skipping checked
+  // neighbors (the paper's Fig. 8c/d behaviour).
+  const std::vector<Pair> expected = {
+      {3, 4}, {0, 1}, {0, 2}, {0, 5},  // initialization phase
+      {0, 1}, {0, 2},                  // p1's top-2 (repeats allowed)
+      {1, 2}, {1, 5},                  // p2's (p1 checked -> c12 skipped)
+      {3, 4}, {2, 3},                  // p4's
+      {2, 4}, {4, 5},                  // p5's (p4 checked)
+      {2, 5},                          // p3's (p1,p2,p4,p5 checked)
+                                       // p6: all neighbors checked
+  };
+  EXPECT_EQ(emissions, expected);
+}
+
+}  // namespace
+}  // namespace sper

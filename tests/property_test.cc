@@ -1,0 +1,245 @@
+// Property-based tests: invariants checked over randomized ER tasks
+// (parameterized by RNG seed). These encode the paper's correctness
+// obligations — above all the *Same Eventual Quality* requirement of
+// Sec. 3.1 — rather than specific examples.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "blocking/block_filtering.h"
+#include "blocking/block_purging.h"
+#include "blocking/token_blocking.h"
+#include "datagen/rng.h"
+#include "metablocking/blocking_graph.h"
+#include "progressive/batch.h"
+#include "progressive/gs_psn.h"
+#include "progressive/ls_psn.h"
+#include "progressive/pbs.h"
+#include "progressive/pps.h"
+#include "progressive/sa_psab.h"
+#include "progressive/sa_psn.h"
+
+namespace sper {
+namespace {
+
+using Pair = std::pair<ProfileId, ProfileId>;
+
+/// A randomized small ER task: profiles with overlapping token sets.
+ProfileStore RandomStore(std::uint64_t seed, bool clean_clean) {
+  Rng rng(seed);
+  const std::size_t vocabulary = 12;
+  auto make_profiles = [&](std::size_t count) {
+    std::vector<Profile> ps(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string value;
+      const std::size_t tokens = rng.UniformInt(1, 5);
+      for (std::size_t t = 0; t < tokens; ++t) {
+        if (t) value += " ";
+        value += "tok" + std::to_string(rng.UniformInt(0, vocabulary - 1));
+      }
+      ps[i].AddAttribute("v", value);
+    }
+    return ps;
+  };
+  if (clean_clean) {
+    return ProfileStore::MakeCleanClean(make_profiles(rng.UniformInt(4, 9)),
+                                        make_profiles(rng.UniformInt(4, 9)));
+  }
+  return ProfileStore::MakeDirty(make_profiles(rng.UniformInt(6, 14)));
+}
+
+std::vector<Comparison> DrainAll(ProgressiveEmitter& emitter,
+                                 std::size_t limit = 200000) {
+  std::vector<Comparison> out;
+  while (out.size() < limit) {
+    std::optional<Comparison> c = emitter.Next();
+    if (!c.has_value()) break;
+    out.push_back(*c);
+  }
+  return out;
+}
+
+std::set<Pair> DistinctPairs(const std::vector<Comparison>& comparisons) {
+  std::set<Pair> out;
+  for (const Comparison& c : comparisons) out.emplace(c.i, c.j);
+  return out;
+}
+
+class SeededTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ------------------------------------------------- Same Eventual Quality
+
+TEST_P(SeededTest, PbsEmitsExactlyTheDistinctBlockComparisons) {
+  for (bool clean_clean : {false, true}) {
+    ProfileStore store = RandomStore(GetParam(), clean_clean);
+    BlockCollection blocks = TokenBlocking(store);
+    PbsEmitter pbs(store, blocks);
+    std::vector<Comparison> emissions = DrainAll(pbs);
+    // Exactly once each (LeCoBI correctness)...
+    EXPECT_EQ(DistinctPairs(emissions).size(), emissions.size());
+    // ...and exactly the batch comparison set (Same Eventual Quality).
+    EXPECT_EQ(DistinctPairs(emissions),
+              DistinctPairs(DistinctBlockComparisons(blocks, store)));
+  }
+}
+
+TEST_P(SeededTest, PpsUnboundedCoversTheBlockingGraph) {
+  for (bool clean_clean : {false, true}) {
+    ProfileStore store = RandomStore(GetParam(), clean_clean);
+    BlockCollection blocks = TokenBlocking(store);
+    PpsOptions options;
+    options.kmax = static_cast<std::size_t>(-1);
+    PpsEmitter pps(store, blocks, options);
+    EXPECT_EQ(DistinctPairs(DrainAll(pps)),
+              DistinctPairs(DistinctBlockComparisons(blocks, store)));
+  }
+}
+
+TEST_P(SeededTest, SaPsnEventuallyCoversEveryTokenSharingPair) {
+  ProfileStore store = RandomStore(GetParam(), false);
+  SaPsnEmitter sa_psn(store);
+  std::set<Pair> emitted = DistinctPairs(DrainAll(sa_psn));
+  // Every pair sharing a token must appear (the window grows to the whole
+  // list, which contains each profile at least once per token).
+  BlockCollection blocks = TokenBlocking(store);
+  for (const Comparison& c : DistinctBlockComparisons(blocks, store)) {
+    EXPECT_TRUE(emitted.count({c.i, c.j}))
+        << "missing (" << c.i << "," << c.j << ")";
+  }
+}
+
+TEST_P(SeededTest, LsPsnAndSaPsnAgreeOnEventualCoverage) {
+  ProfileStore store = RandomStore(GetParam(), false);
+  SaPsnEmitter sa_psn(store);
+  LsPsnEmitter ls_psn(store);
+  EXPECT_EQ(DistinctPairs(DrainAll(ls_psn)),
+            DistinctPairs(DrainAll(sa_psn)));
+}
+
+TEST_P(SeededTest, GsPsnMatchesLsPsnWithinTheWindowRange) {
+  // Within [1, wmax], GS-PSN's comparison set equals the union of
+  // LS-PSN's per-window sets — globally ordered and deduplicated.
+  ProfileStore store = RandomStore(GetParam(), false);
+  GsPsnOptions options;
+  options.wmax = 3;
+  GsPsnEmitter gs_psn(store, options);
+  std::vector<Comparison> gs = DrainAll(gs_psn);
+  EXPECT_EQ(DistinctPairs(gs).size(), gs.size());  // repetition-free
+
+  LsPsnEmitter ls_psn(store);
+  std::set<Pair> ls_within;
+  while (true) {
+    std::optional<Comparison> c = ls_psn.Next();
+    if (!c.has_value() || ls_psn.window() > 3) break;
+    ls_within.emplace(c->i, c->j);
+  }
+  EXPECT_EQ(DistinctPairs(gs), ls_within);
+}
+
+// ----------------------------------------------------- ordering invariants
+
+TEST_P(SeededTest, GsPsnWeightsAreNonIncreasing) {
+  ProfileStore store = RandomStore(GetParam(), false);
+  GsPsnOptions options;
+  options.wmax = 4;
+  GsPsnEmitter gs_psn(store, options);
+  double previous = 1e300;
+  for (const Comparison& c : DrainAll(gs_psn)) {
+    EXPECT_LE(c.weight, previous);
+    previous = c.weight;
+  }
+}
+
+TEST_P(SeededTest, PbsBlockWeightsRespectScheduleOrder) {
+  ProfileStore store = RandomStore(GetParam(), false);
+  BlockCollection blocks = TokenBlocking(store);
+  PbsEmitter pbs(store, blocks);
+  const BlockCollection& scheduled = pbs.scheduled_blocks();
+  for (BlockId id = 1; id < scheduled.size(); ++id) {
+    EXPECT_LE(scheduled.Cardinality(id - 1), scheduled.Cardinality(id));
+  }
+}
+
+TEST_P(SeededTest, RcfWeightsArePositiveAndBounded) {
+  // RCF is NOT capped at 1 (adjacency across equal-key runs can exceed
+  // the placement overlap), but it is positive, finite and bounded by
+  // freq <= 2 * min positions => weight <= 2 * list size in the extreme.
+  ProfileStore store = RandomStore(GetParam(), false);
+  LsPsnEmitter ls_psn(store);
+  for (const Comparison& c : DrainAll(ls_psn, 5000)) {
+    EXPECT_GE(c.weight, 0.0);
+    EXPECT_TRUE(std::isfinite(c.weight));
+  }
+}
+
+// -------------------------------------------------- blocking invariants
+
+TEST_P(SeededTest, PurgingNeverIncreasesCardinality) {
+  ProfileStore store = RandomStore(GetParam(), false);
+  BlockCollection blocks = TokenBlocking(store);
+  BlockCollection purged = BlockPurging(blocks, store.size());
+  EXPECT_LE(purged.AggregateCardinality(), blocks.AggregateCardinality());
+  EXPECT_LE(purged.size(), blocks.size());
+}
+
+TEST_P(SeededTest, FilteringNeverIncreasesCardinality) {
+  ProfileStore store = RandomStore(GetParam(), false);
+  BlockCollection blocks = TokenBlocking(store);
+  BlockCollection filtered = BlockFiltering(blocks);
+  EXPECT_LE(filtered.AggregateCardinality(), blocks.AggregateCardinality());
+  // Filtering keeps each profile's smallest blocks, so every surviving
+  // block is a subset of the original with the same key.
+  for (const Block& b : filtered.blocks()) {
+    bool found = false;
+    for (const Block& original : blocks.blocks()) {
+      if (original.key != b.key) continue;
+      found = true;
+      EXPECT_TRUE(std::includes(original.profiles.begin(),
+                                original.profiles.end(),
+                                b.profiles.begin(), b.profiles.end()));
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_P(SeededTest, BlockingGraphEdgesAreComparablePairs) {
+  for (bool clean_clean : {false, true}) {
+    ProfileStore store = RandomStore(GetParam(), clean_clean);
+    BlockCollection blocks = TokenBlocking(store);
+    ProfileIndex index(blocks, store.size());
+    BlockingGraph graph =
+        BlockingGraph::Build(blocks, index, store, WeightingScheme::kArcs);
+    for (const Comparison& e : graph.edges()) {
+      EXPECT_TRUE(store.IsComparable(e.i, e.j));
+      EXPECT_GT(e.weight, 0.0);
+    }
+  }
+}
+
+TEST_P(SeededTest, SaPsabSubsumesTokenBlockingCoverage) {
+  // Every token-sharing pair also shares that token's full suffix, so
+  // SA-PSAB's distinct coverage is a superset of Token Blocking's
+  // whenever tokens are at least lmin long.
+  ProfileStore store = RandomStore(GetParam(), false);
+  SuffixForestOptions options;
+  options.lmin = 3;  // "tokN" tokens are 4-5 chars
+  SaPsabEmitter sa_psab(store, options);
+  std::set<Pair> emitted = DistinctPairs(DrainAll(sa_psab));
+  BlockCollection blocks = TokenBlocking(store);
+  for (const Comparison& c : DistinctBlockComparisons(blocks, store)) {
+    EXPECT_TRUE(emitted.count({c.i, c.j}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+}  // namespace
+}  // namespace sper

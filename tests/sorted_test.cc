@@ -1,0 +1,141 @@
+// Unit tests for src/sorted: NeighborList, PositionIndex, RCF weighting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sorted/neighbor_list.h"
+#include "sorted/position_index.h"
+
+namespace sper {
+namespace {
+
+ProfileStore SmallStore() {
+  // p0: {apple, banana}; p1: {banana, cherry}; p2: {apple}.
+  std::vector<Profile> ps(3);
+  ps[0].AddAttribute("v", "apple banana");
+  ps[1].AddAttribute("v", "banana cherry");
+  ps[2].AddAttribute("v", "apple");
+  return ProfileStore::MakeDirty(std::move(ps));
+}
+
+NeighborListOptions NoShuffle() {
+  NeighborListOptions options;
+  options.shuffle_ties = false;
+  return options;
+}
+
+TEST(NeighborListTest, SchemaAgnosticPlacesProfileOncePerToken) {
+  ProfileStore store = SmallStore();
+  NeighborList list = NeighborList::BuildSchemaAgnostic(store, NoShuffle());
+  // Sorted keys: apple(p0,p2), banana(p0,p1), cherry(p1).
+  ASSERT_EQ(list.size(), 5u);
+  EXPECT_EQ(list.keys()[0], "apple");
+  EXPECT_EQ(list.at(0), 0u);
+  EXPECT_EQ(list.at(1), 2u);
+  EXPECT_EQ(list.keys()[2], "banana");
+  EXPECT_EQ(list.at(2), 0u);
+  EXPECT_EQ(list.at(3), 1u);
+  EXPECT_EQ(list.keys()[4], "cherry");
+  EXPECT_EQ(list.at(4), 1u);
+}
+
+TEST(NeighborListTest, KeysAreSortedRegardlessOfShuffle) {
+  ProfileStore store = SmallStore();
+  NeighborList list = NeighborList::BuildSchemaAgnostic(store);
+  EXPECT_TRUE(std::is_sorted(list.keys().begin(), list.keys().end()));
+}
+
+TEST(NeighborListTest, TieShuffleKeepsRunMembership) {
+  // With shuffling on, each equal-key run must contain the same profiles,
+  // in any order (coincidental proximity, Sec. 4.1).
+  ProfileStore store = SmallStore();
+  NeighborList shuffled = NeighborList::BuildSchemaAgnostic(store);
+  std::map<std::string, std::vector<ProfileId>> runs;
+  for (std::size_t pos = 0; pos < shuffled.size(); ++pos) {
+    runs[shuffled.keys()[pos]].push_back(shuffled.at(pos));
+  }
+  for (auto& [key, ids] : runs) std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(runs["apple"], (std::vector<ProfileId>{0, 2}));
+  EXPECT_EQ(runs["banana"], (std::vector<ProfileId>{0, 1}));
+  EXPECT_EQ(runs["cherry"], (std::vector<ProfileId>{1}));
+}
+
+TEST(NeighborListTest, ShuffleIsDeterministicPerSeed) {
+  ProfileStore store = SmallStore();
+  NeighborListOptions options;
+  options.seed = 123;
+  NeighborList a = NeighborList::BuildSchemaAgnostic(store, options);
+  NeighborList b = NeighborList::BuildSchemaAgnostic(store, options);
+  EXPECT_EQ(a.profiles(), b.profiles());
+}
+
+TEST(NeighborListTest, SchemaBasedUsesOneKeyPerProfile) {
+  ProfileStore store = SmallStore();
+  NeighborList list = NeighborList::BuildSchemaBased(
+      store,
+      [](const Profile& p) { return std::string(p.ValueOf("v").substr(0, 1)); },
+      NoShuffle());
+  // Keys: p0 -> "a", p1 -> "b", p2 -> "a"; sorted: a(p0), a(p2), b(p1).
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.at(0), 0u);
+  EXPECT_EQ(list.at(1), 2u);
+  EXPECT_EQ(list.at(2), 1u);
+}
+
+TEST(NeighborListTest, SchemaBasedSkipsEmptyKeys) {
+  std::vector<Profile> ps(2);
+  ps[0].AddAttribute("k", "x");
+  ps[1].AddAttribute("other", "y");
+  ProfileStore store = ProfileStore::MakeDirty(std::move(ps));
+  NeighborList list = NeighborList::BuildSchemaBased(
+      store, [](const Profile& p) { return std::string(p.ValueOf("k")); },
+      NoShuffle());
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.at(0), 0u);
+}
+
+TEST(PositionIndexTest, InvertsTheNeighborList) {
+  ProfileStore store = SmallStore();
+  NeighborList list = NeighborList::BuildSchemaAgnostic(store, NoShuffle());
+  PositionIndex index(list, store.size());
+  // p0 at positions {0, 2}, p1 at {3, 4}, p2 at {1}.
+  EXPECT_EQ(index.NumPositionsOf(0), 2u);
+  EXPECT_EQ(index.NumPositionsOf(1), 2u);
+  EXPECT_EQ(index.NumPositionsOf(2), 1u);
+  EXPECT_EQ(index.PositionsOf(0)[0], 0u);
+  EXPECT_EQ(index.PositionsOf(0)[1], 2u);
+  EXPECT_EQ(index.PositionsOf(2)[0], 1u);
+}
+
+TEST(PositionIndexTest, PositionsRoundTripThroughTheList) {
+  ProfileStore store = SmallStore();
+  NeighborList list = NeighborList::BuildSchemaAgnostic(store);
+  PositionIndex index(list, store.size());
+  for (ProfileId p = 0; p < store.size(); ++p) {
+    for (std::uint32_t pos : index.PositionsOf(p)) {
+      EXPECT_EQ(list.at(pos), p);
+    }
+  }
+}
+
+TEST(RcfTest, MatchesTheFormula) {
+  // RCF = freq / (|PI[i]| + |PI[j]| - freq)   (Sec. 5.1.1)
+  EXPECT_DOUBLE_EQ(RcfWeight(2.0, 4, 4), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(RcfWeight(4.0, 4, 4), 1.0);
+  EXPECT_DOUBLE_EQ(RcfWeight(1.0, 1, 1), 1.0);
+}
+
+TEST(RcfTest, ZeroDenominatorYieldsZero) {
+  EXPECT_DOUBLE_EQ(RcfWeight(0.0, 0, 0), 0.0);
+}
+
+TEST(RcfTest, MoreCoOccurrenceMeansHigherWeight) {
+  EXPECT_GT(RcfWeight(3.0, 5, 5), RcfWeight(2.0, 5, 5));
+  // Same freq, busier profiles -> lower weight.
+  EXPECT_GT(RcfWeight(2.0, 3, 3), RcfWeight(2.0, 8, 8));
+}
+
+}  // namespace
+}  // namespace sper
