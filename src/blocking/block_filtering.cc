@@ -3,32 +3,37 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/types.h"
+#include "parallel/parallel_for.h"
 
 namespace sper {
 
 BlockCollection BlockFiltering(const BlockCollection& input,
                                const BlockFilteringOptions& options) {
-  // Pass 1: collect, per profile, the blocks it appears in.
-  std::unordered_map<ProfileId, std::vector<BlockId>> profile_blocks;
+  // Pass 1: collect, per profile, the blocks it appears in. Profile ids
+  // are dense, so a plain vector indexed by id suffices.
+  ProfileId num_profiles = 0;
+  for (const Block& block : input.blocks()) {
+    for (ProfileId p : block.profiles) {
+      num_profiles = std::max(num_profiles, p + 1);
+    }
+  }
+  std::vector<std::vector<BlockId>> profile_blocks(num_profiles);
   for (BlockId b = 0; b < input.size(); ++b) {
     for (ProfileId p : input.block(b).profiles) {
       profile_blocks[p].push_back(b);
     }
   }
 
-  // Pass 2: per profile, mark the ceil(ratio*|B_i|) smallest blocks as
-  // kept. Ties by size break on block id so the result is deterministic.
-  std::unordered_map<std::uint64_t, bool> keep;  // (profile, block) -> kept
-  keep.reserve(profile_blocks.size() * 4);
-  auto slot = [](ProfileId p, BlockId b) {
-    return (static_cast<std::uint64_t>(p) << 32) | b;
-  };
-  for (auto& [profile, blocks] : profile_blocks) {
+  // Pass 2 (parallel over profiles): rank each profile's blocks by size
+  // (ties on block id for determinism), keep the ceil(ratio*|B_i|)
+  // smallest, and leave the survivors sorted by id for the membership
+  // test of pass 3. Each profile owns its slot — no shared writes.
+  ParallelFor(num_profiles, options.num_threads, [&](std::size_t p) {
+    std::vector<BlockId>& blocks = profile_blocks[p];
     std::sort(blocks.begin(), blocks.end(), [&](BlockId a, BlockId b) {
       const std::size_t sa = input.block(a).size();
       const std::size_t sb = input.block(b).size();
@@ -37,23 +42,29 @@ BlockCollection BlockFiltering(const BlockCollection& input,
     });
     const std::size_t retained = static_cast<std::size_t>(
         std::ceil(options.ratio * static_cast<double>(blocks.size())));
-    for (std::size_t k = 0; k < blocks.size() && k < retained; ++k) {
-      keep[slot(profile, blocks[k])] = true;
-    }
-  }
+    if (retained < blocks.size()) blocks.resize(retained);
+    std::sort(blocks.begin(), blocks.end());
+  });
 
-  // Pass 3: rebuild blocks with only the retained memberships.
+  // Pass 3 (parallel over blocks): rebuild every block with only the
+  // retained memberships, then append the survivors in block-id order.
+  std::vector<std::vector<ProfileId>> filtered(input.size());
+  ParallelFor(input.size(), options.num_threads, [&](std::size_t b) {
+    const Block& block = input.block(static_cast<BlockId>(b));
+    for (ProfileId p : block.profiles) {
+      if (std::binary_search(profile_blocks[p].begin(),
+                             profile_blocks[p].end(),
+                             static_cast<BlockId>(b))) {
+        filtered[b].push_back(p);
+      }
+    }
+  });
+
   BlockCollection out(input.er_type(), input.split_index());
   for (BlockId b = 0; b < input.size(); ++b) {
-    const Block& block = input.block(b);
-    Block filtered;
-    filtered.key = block.key;
-    for (ProfileId p : block.profiles) {
-      auto it = keep.find(slot(p, b));
-      if (it != keep.end() && it->second) filtered.profiles.push_back(p);
-    }
-    if (out.ComputeCardinality(filtered) == 0) continue;
-    out.Add(std::move(filtered));
+    Block block{input.block(b).key, std::move(filtered[b])};
+    if (out.ComputeCardinality(block) == 0) continue;
+    out.Add(std::move(block));
   }
   return out;
 }

@@ -15,6 +15,9 @@ namespace sper {
 struct BlockFilteringOptions {
   /// Every profile is kept in ceil(ratio * |B_i|) of its smallest blocks.
   double ratio = 0.8;
+  /// Threads for the per-profile ranking and per-block rebuild passes
+  /// (0 or 1 = sequential). The result is identical at every thread count.
+  std::size_t num_threads = 1;
 };
 
 /// Returns a new collection in which every profile appears only in its

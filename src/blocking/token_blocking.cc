@@ -1,37 +1,119 @@
 #include "blocking/token_blocking.h"
 
 #include <algorithm>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "parallel/parallel_for.h"
+
 namespace sper {
 
-BlockCollection TokenBlocking(const ProfileStore& store,
-                              const TokenBlockingOptions& options) {
-  // Token -> member profiles. Profiles are visited in id order and each
-  // contributes its *distinct* tokens, so the postings arrive sorted and
-  // duplicate-free.
-  std::unordered_map<std::string, std::vector<ProfileId>> postings;
+namespace {
+
+using PostingsMap = std::unordered_map<std::string, std::vector<ProfileId>>;
+
+/// Sequential reference build: profiles in id order, each contributing its
+/// distinct tokens, so postings arrive sorted and duplicate-free.
+PostingsMap BuildPostingsSequential(const ProfileStore& store,
+                                    const TokenBlockingOptions& options) {
+  PostingsMap postings;
   postings.reserve(store.size() * 4);
   for (const Profile& p : store.profiles()) {
-    for (std::string& token :
-         DistinctProfileTokens(p, options.tokenizer)) {
+    for (std::string& token : DistinctProfileTokens(p, options.tokenizer)) {
       postings[std::move(token)].push_back(p.id());
     }
   }
+  return postings;
+}
 
-  // Deterministic block order: sort keys lexicographically.
-  std::vector<const std::string*> keys;
-  keys.reserve(postings.size());
-  for (const auto& [token, ids] : postings) keys.push_back(&token);
+/// One tokenized (token, profile) membership headed for a shard map.
+struct TokenEntry {
+  std::string token;
+  ProfileId profile = kInvalidProfile;
+};
+
+/// Parallel sharded build. Phase 1 tokenizes profiles in parallel (static
+/// profile chunks) and routes every token by hash into a per-(chunk,
+/// shard) bucket. Phase 2 builds the per-shard postings maps
+/// concurrently; shard s drains buckets [0][s], [1][s], ... in chunk
+/// order, so profiles arrive in id order and its postings are sorted and
+/// duplicate-free exactly like the sequential build's. Each bucket is
+/// written by one chunk thread and read by one shard thread (with a
+/// barrier between phases) — no shared mutation, and no rescanning of
+/// other shards' tokens. Shard assignment affects only which map holds a
+/// token, never the final collection: the caller merges all shards
+/// through one global lexicographic key sort.
+std::vector<PostingsMap> BuildPostingsSharded(
+    const ProfileStore& store, const TokenBlockingOptions& options) {
+  const std::size_t n = store.size();
+  const std::size_t num_shards = options.num_threads;
+  const std::size_t num_chunks = StaticChunks(n, options.num_threads).size();
+
+  std::vector<std::vector<std::vector<TokenEntry>>> buckets(
+      num_chunks, std::vector<std::vector<TokenEntry>>(num_shards));
+  ParallelForChunks(
+      n, options.num_threads, [&](std::size_t chunk, IndexRange range) {
+        std::vector<std::vector<TokenEntry>>& mine = buckets[chunk];
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          for (std::string& token : DistinctProfileTokens(
+                   store.profile(static_cast<ProfileId>(i)),
+                   options.tokenizer)) {
+            const std::size_t s =
+                std::hash<std::string>{}(token) % num_shards;
+            mine[s].push_back(
+                {std::move(token), static_cast<ProfileId>(i)});
+          }
+        }
+      });
+
+  std::vector<PostingsMap> shards(num_shards);
+  ParallelFor(num_shards, options.num_threads, [&](std::size_t s) {
+    PostingsMap& shard = shards[s];
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) total += buckets[c][s].size();
+    shard.reserve(total);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      for (TokenEntry& entry : buckets[c][s]) {
+        shard[std::move(entry.token)].push_back(entry.profile);
+      }
+    }
+  });
+  return shards;
+}
+
+}  // namespace
+
+BlockCollection TokenBlocking(const ProfileStore& store,
+                              const TokenBlockingOptions& options) {
+  std::vector<PostingsMap> shards;
+  if (options.num_threads > 1) {
+    shards = BuildPostingsSharded(store, options);
+  } else {
+    shards.push_back(BuildPostingsSequential(store, options));
+  }
+
+  // Deterministic block order: sort all keys lexicographically across
+  // shards. Every token lives in exactly one shard, so keys are unique.
+  struct KeyRef {
+    const std::string* key;
+    std::size_t shard;
+  };
+  std::vector<KeyRef> keys;
+  std::size_t total = 0;
+  for (const PostingsMap& shard : shards) total += shard.size();
+  keys.reserve(total);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (const auto& [token, ids] : shards[s]) keys.push_back({&token, s});
+  }
   std::sort(keys.begin(), keys.end(),
-            [](const std::string* a, const std::string* b) { return *a < *b; });
+            [](const KeyRef& a, const KeyRef& b) { return *a.key < *b.key; });
 
   BlockCollection collection(store.er_type(), store.split_index());
-  for (const std::string* key : keys) {
-    auto node = postings.extract(*key);
+  for (const KeyRef& ref : keys) {
+    auto node = shards[ref.shard].extract(*ref.key);
     Block block{std::move(node.key()), std::move(node.mapped())};
     if (collection.ComputeCardinality(block) == 0) continue;
     collection.Add(std::move(block));

@@ -1,0 +1,111 @@
+#include "engine/progressive_engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/macros.h"
+#include "progressive/ls_psn.h"
+#include "progressive/psn.h"
+#include "progressive/sa_psn.h"
+
+namespace sper {
+
+std::string_view ToString(MethodId id) {
+  switch (id) {
+    case MethodId::kPsn:
+      return "PSN";
+    case MethodId::kSaPsn:
+      return "SA-PSN";
+    case MethodId::kSaPsab:
+      return "SA-PSAB";
+    case MethodId::kLsPsn:
+      return "LS-PSN";
+    case MethodId::kGsPsn:
+      return "GS-PSN";
+    case MethodId::kPbs:
+      return "PBS";
+    case MethodId::kPps:
+      return "PPS";
+  }
+  return "?";
+}
+
+std::optional<MethodId> ParseMethodId(std::string_view name) {
+  for (MethodId id :
+       {MethodId::kPsn, MethodId::kSaPsn, MethodId::kSaPsab,
+        MethodId::kLsPsn, MethodId::kGsPsn, MethodId::kPbs, MethodId::kPps}) {
+    if (name == ToString(id)) return id;
+  }
+  return std::nullopt;
+}
+
+ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
+                                     EngineOptions options)
+    : options_(std::move(options)) {
+  const auto start = std::chrono::steady_clock::now();
+  if (options_.num_threads == 0) options_.num_threads = 1;
+
+  switch (options_.method) {
+    case MethodId::kPsn:
+      SPER_CHECK(options_.schema_key != nullptr &&
+                 "kPsn requires EngineOptions::schema_key");
+      inner_ = std::make_unique<PsnEmitter>(store, options_.schema_key,
+                                            options_.list);
+      break;
+    case MethodId::kSaPsn:
+      inner_ = std::make_unique<SaPsnEmitter>(store, options_.list);
+      break;
+    case MethodId::kSaPsab:
+      inner_ = std::make_unique<SaPsabEmitter>(store, options_.suffix);
+      break;
+    case MethodId::kLsPsn:
+      inner_ = std::make_unique<LsPsnEmitter>(store, options_.list);
+      break;
+    case MethodId::kGsPsn: {
+      GsPsnOptions gs;
+      gs.wmax = options_.gs_wmax;
+      gs.list = options_.list;
+      inner_ = std::make_unique<GsPsnEmitter>(store, gs);
+      break;
+    }
+    case MethodId::kPbs: {
+      TokenWorkflowOptions workflow = options_.workflow;
+      workflow.num_threads = options_.num_threads;
+      BlockCollection blocks = BuildTokenWorkflowBlocks(store, workflow);
+      stats_.num_blocks = blocks.size();
+      stats_.aggregate_cardinality = blocks.AggregateCardinality();
+      PbsOptions pbs;
+      pbs.scheme = options_.scheme;
+      pbs.num_threads = options_.num_threads;
+      inner_ = std::make_unique<PbsEmitter>(store, blocks, pbs);
+      break;
+    }
+    case MethodId::kPps: {
+      TokenWorkflowOptions workflow = options_.workflow;
+      workflow.num_threads = options_.num_threads;
+      BlockCollection blocks = BuildTokenWorkflowBlocks(store, workflow);
+      stats_.num_blocks = blocks.size();
+      stats_.aggregate_cardinality = blocks.AggregateCardinality();
+      PpsOptions pps;
+      pps.scheme = options_.scheme;
+      pps.kmax = options_.pps_kmax;
+      pps.num_threads = options_.num_threads;
+      inner_ = std::make_unique<PpsEmitter>(store, std::move(blocks), pps);
+      break;
+    }
+  }
+  SPER_CHECK(inner_ != nullptr && "unknown method");
+
+  stats_.init_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+std::optional<Comparison> ProgressiveEngine::Next() {
+  if (BudgetExhausted()) return std::nullopt;
+  std::optional<Comparison> next = inner_->Next();
+  if (next.has_value()) ++emitted_;
+  return next;
+}
+
+}  // namespace sper

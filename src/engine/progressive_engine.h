@@ -1,0 +1,108 @@
+#ifndef SPER_ENGINE_PROGRESSIVE_ENGINE_H_
+#define SPER_ENGINE_PROGRESSIVE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/profile_store.h"
+#include "core/types.h"
+#include "engine/method.h"
+#include "progressive/emitter.h"
+#include "progressive/gs_psn.h"
+#include "progressive/pbs.h"
+#include "progressive/pps.h"
+#include "progressive/sa_psab.h"
+#include "progressive/workflow.h"
+#include "sorted/neighbor_list.h"
+
+/// \file progressive_engine.h
+/// The one-call facade over the whole library: profiles in, ranked
+/// comparisons out. The engine wires the Token Blocking Workflow,
+/// meta-blocking edge weighting and the chosen progressive method behind a
+/// single constructor, runs every initialization hot path on
+/// `num_threads` threads (identical output at every thread count), and
+/// enforces an optional pay-as-you-go comparison budget on emission.
+
+namespace sper {
+
+/// Everything the engine needs to run one progressive ER task.
+struct EngineOptions {
+  /// Progressive method to run.
+  MethodId method = MethodId::kPps;
+
+  /// Threads used by the initialization phase (token-index build, block
+  /// filtering, edge weighting). Emission is always sequential — it is a
+  /// pull-based stream. 0 means "one thread".
+  std::size_t num_threads = 1;
+
+  /// Maximum number of comparisons Next() will emit; 0 = unlimited. This
+  /// is the paper's pay-as-you-go budget expressed at the API boundary:
+  /// once exhausted, Next() returns nullopt even if the method could
+  /// continue.
+  std::uint64_t budget = 0;
+
+  /// Blocking workflow for the equality-based methods (PBS, PPS).
+  TokenWorkflowOptions workflow;
+  /// Blocking-graph edge-weighting scheme for PBS/PPS.
+  WeightingScheme scheme = WeightingScheme::kArcs;
+  /// PPS comparisons retained per profile.
+  std::size_t pps_kmax = 100;
+  /// GS-PSN window range.
+  std::size_t gs_wmax = 20;
+  /// SA-PSAB suffix forest parameters.
+  SuffixForestOptions suffix;
+  /// Neighbor List construction for the sort-based methods.
+  NeighborListOptions list;
+  /// Schema-based blocking key; required by kPsn, ignored otherwise.
+  SchemaKeyFn schema_key;
+};
+
+/// Aggregate facts about the initialization phase (diagnostics / benches).
+struct EngineInitStats {
+  /// Wall-clock seconds spent in the constructor.
+  double init_seconds = 0.0;
+  /// |B| of the workflow collection (0 for sort-based methods).
+  std::size_t num_blocks = 0;
+  /// ||B|| of the workflow collection (0 for sort-based methods).
+  std::uint64_t aggregate_cardinality = 0;
+};
+
+/// Facade emitter: owns the inner method emitter and its inputs. Being a
+/// ProgressiveEmitter itself, it composes with every existing consumer
+/// (evaluator, benches, dedup loops).
+class ProgressiveEngine : public ProgressiveEmitter {
+ public:
+  /// Initialization phase: builds blocking structures (in parallel when
+  /// options.num_threads > 1) and the method emitter. The store must
+  /// outlive the engine. kPsn requires options.schema_key.
+  ProgressiveEngine(const ProfileStore& store, EngineOptions options);
+
+  /// Emission phase: the next best comparison, honoring the budget.
+  std::optional<Comparison> Next() override;
+
+  /// The inner method's acronym, e.g. "PPS".
+  std::string_view name() const override { return inner_->name(); }
+
+  /// Comparisons emitted so far.
+  std::uint64_t emitted() const { return emitted_; }
+
+  /// True once the configured budget has been spent (never for budget 0).
+  bool BudgetExhausted() const {
+    return options_.budget != 0 && emitted_ >= options_.budget;
+  }
+
+  /// Initialization diagnostics.
+  const EngineInitStats& init_stats() const { return stats_; }
+
+ private:
+  EngineOptions options_;
+  EngineInitStats stats_;
+  std::unique_ptr<ProgressiveEmitter> inner_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace sper
+
+#endif  // SPER_ENGINE_PROGRESSIVE_ENGINE_H_

@@ -1,77 +1,25 @@
 #include "eval/experiment.h"
 
-#include "core/macros.h"
-#include "progressive/gs_psn.h"
-#include "progressive/ls_psn.h"
-#include "progressive/pbs.h"
-#include "progressive/pps.h"
-#include "progressive/psn.h"
-#include "progressive/sa_psab.h"
-#include "progressive/sa_psn.h"
+#include "engine/progressive_engine.h"
 
 namespace sper {
-
-std::string_view ToString(MethodId id) {
-  switch (id) {
-    case MethodId::kPsn:
-      return "PSN";
-    case MethodId::kSaPsn:
-      return "SA-PSN";
-    case MethodId::kSaPsab:
-      return "SA-PSAB";
-    case MethodId::kLsPsn:
-      return "LS-PSN";
-    case MethodId::kGsPsn:
-      return "GS-PSN";
-    case MethodId::kPbs:
-      return "PBS";
-    case MethodId::kPps:
-      return "PPS";
-  }
-  return "?";
-}
 
 std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
                                                 const DatasetBundle& dataset,
                                                 const MethodConfig& config) {
-  const ProfileStore& store = dataset.store;
-  switch (id) {
-    case MethodId::kPsn:
-      if (!dataset.psn_key) return nullptr;
-      return std::make_unique<PsnEmitter>(store, dataset.psn_key,
-                                          config.list);
-    case MethodId::kSaPsn:
-      return std::make_unique<SaPsnEmitter>(store, config.list);
-    case MethodId::kSaPsab:
-      return std::make_unique<SaPsabEmitter>(store, config.suffix);
-    case MethodId::kLsPsn:
-      return std::make_unique<LsPsnEmitter>(store, config.list);
-    case MethodId::kGsPsn: {
-      GsPsnOptions options;
-      options.wmax = config.gs_wmax;
-      options.list = config.list;
-      return std::make_unique<GsPsnEmitter>(store, options);
-    }
-    case MethodId::kPbs: {
-      // Initialization includes the whole Token Blocking Workflow, as in
-      // the paper's initialization-time accounting (Sec. 7, "Metrics").
-      BlockCollection blocks = BuildTokenWorkflowBlocks(store,
-                                                        config.workflow);
-      PbsOptions options;
-      options.scheme = config.scheme;
-      return std::make_unique<PbsEmitter>(store, blocks, options);
-    }
-    case MethodId::kPps: {
-      BlockCollection blocks = BuildTokenWorkflowBlocks(store,
-                                                        config.workflow);
-      PpsOptions options;
-      options.scheme = config.scheme;
-      options.kmax = config.pps_kmax;
-      return std::make_unique<PpsEmitter>(store, blocks, options);
-    }
-  }
-  SPER_CHECK(false && "unknown method");
-  return nullptr;
+  if (id == MethodId::kPsn && !dataset.psn_key) return nullptr;
+  EngineOptions options;
+  options.method = id;
+  options.num_threads = config.num_threads;
+  options.workflow = config.workflow;
+  options.scheme = config.scheme;
+  options.pps_kmax = config.pps_kmax;
+  options.gs_wmax = config.gs_wmax;
+  options.suffix = config.suffix;
+  options.list = config.list;
+  options.schema_key = dataset.psn_key;
+  return std::make_unique<ProgressiveEngine>(dataset.store,
+                                             std::move(options));
 }
 
 const std::vector<MethodId>& StructuredMethodSet() {

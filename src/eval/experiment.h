@@ -7,6 +7,7 @@
 
 #include "blocking/suffix_forest.h"
 #include "datagen/dataset.h"
+#include "engine/method.h"
 #include "metablocking/edge_weighting.h"
 #include "progressive/emitter.h"
 #include "progressive/workflow.h"
@@ -16,22 +17,10 @@
 /// Method registry for the benchmark harness: constructs any of the
 /// paper's seven progressive methods against a DatasetBundle with one
 /// shared configuration (the paper's Sec. 7 "Parameter configuration").
+/// MethodId itself lives in engine/method.h; emitters are built through
+/// the ProgressiveEngine facade.
 
 namespace sper {
-
-/// The seven methods of the evaluation (Figs. 9-13).
-enum class MethodId {
-  kPsn,     // schema-based baseline
-  kSaPsn,   // naïve, similarity
-  kSaPsab,  // naïve, equality/hierarchy
-  kLsPsn,   // advanced, similarity (local)
-  kGsPsn,   // advanced, similarity (global)
-  kPbs,     // advanced, equality (block-centric)
-  kPps,     // advanced, equality (profile-centric)
-};
-
-/// Method acronym as printed in the paper.
-std::string_view ToString(MethodId id);
 
 /// Shared method configuration (defaults = the paper's settings).
 struct MethodConfig {
@@ -47,12 +36,16 @@ struct MethodConfig {
   TokenWorkflowOptions workflow;
   /// Neighbor List construction (tie shuffling seed etc.).
   NeighborListOptions list;
+  /// Threads for the initialization phase (1 = sequential; emitted
+  /// sequences are identical at every thread count).
+  std::size_t num_threads = 1;
 };
 
-/// Builds the requested emitter on the dataset. The construction cost is
-/// the method's full initialization phase, including blocking for the
-/// equality-based methods. Returns nullptr for PSN on datasets without a
-/// literature blocking key (the heterogeneous ones).
+/// Builds the requested emitter on the dataset via the ProgressiveEngine
+/// facade. The construction cost is the method's full initialization
+/// phase, including blocking for the equality-based methods. Returns
+/// nullptr for PSN on datasets without a literature blocking key (the
+/// heterogeneous ones).
 std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
                                                 const DatasetBundle& dataset,
                                                 const MethodConfig& config);

@@ -1,37 +1,62 @@
 #include "metablocking/blocking_graph.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "metablocking/neighborhood.h"
+#include "parallel/parallel_for.h"
 
 namespace sper {
 
 BlockingGraph BlockingGraph::Build(const BlockCollection& blocks,
                                    const ProfileIndex& index,
                                    const ProfileStore& store,
-                                   WeightingScheme scheme) {
-  EdgeWeighter weighter(blocks, index, store, scheme);
-  NeighborhoodAccumulator acc(store.size());
+                                   WeightingScheme scheme,
+                                   std::size_t num_threads) {
+  EdgeWeighter weighter(blocks, index, store, scheme, num_threads);
 
+  // Per-chunk gather with private accumulators and node-presence bitmaps;
+  // the per-chunk edge lists are concatenated in chunk order, so the edge
+  // set (pre-sort) matches the sequential pass exactly.
+  const std::size_t num_chunks =
+      StaticChunks(store.size(), num_threads).size();
+  std::vector<std::vector<std::uint8_t>> chunk_in_graph(
+      num_chunks, std::vector<std::uint8_t>(store.size(), 0));
   BlockingGraph graph;
-  std::vector<bool> in_graph(store.size(), false);
-  for (ProfileId i = 0; i < store.size(); ++i) {
-    acc.Gather(
-        i, blocks, index, store,
-        [&](BlockId b) { return weighter.BlockContribution(b); },
-        [&](ProfileId j, double accumulated) {
-          in_graph[i] = in_graph[j] = true;
-          // Each undirected edge is gathered from both endpoints; keep the
-          // visit from the smaller id only.
-          if (i < j) {
-            graph.edges_.emplace_back(i, j,
-                                      weighter.Finalize(i, j, accumulated));
-          }
-        });
+  graph.edges_ = AccumulateOrdered(
+      store.size(), num_threads,
+      [&](std::size_t chunk, IndexRange range) {
+        std::vector<Comparison> edges;
+        std::vector<std::uint8_t>& in_graph = chunk_in_graph[chunk];
+        NeighborhoodAccumulator acc(store.size());
+        for (std::size_t idx = range.begin; idx < range.end; ++idx) {
+          const ProfileId i = static_cast<ProfileId>(idx);
+          acc.Gather(
+              i, blocks, index, store,
+              [&](BlockId b) { return weighter.BlockContribution(b); },
+              [&](ProfileId j, double accumulated) {
+                in_graph[i] = in_graph[j] = 1;
+                // Each undirected edge is gathered from both endpoints;
+                // keep the visit from the smaller id only.
+                if (i < j) {
+                  edges.emplace_back(i, j,
+                                     weighter.Finalize(i, j, accumulated));
+                }
+              });
+        }
+        return edges;
+      });
+
+  std::size_t num_nodes = 0;
+  for (ProfileId p = 0; p < store.size(); ++p) {
+    for (const std::vector<std::uint8_t>& in_graph : chunk_in_graph) {
+      if (in_graph[p]) {
+        ++num_nodes;
+        break;
+      }
+    }
   }
-  graph.num_nodes_ =
-      static_cast<std::size_t>(std::count(in_graph.begin(), in_graph.end(),
-                                          true));
+  graph.num_nodes_ = num_nodes;
   std::sort(graph.edges_.begin(), graph.edges_.end(),
             [](const Comparison& a, const Comparison& b) {
               if (a.i != b.i) return a.i < b.i;

@@ -27,11 +27,15 @@ namespace sper {
 /// An explicit, undirected, weighted blocking graph.
 class BlockingGraph {
  public:
-  /// Materializes all distinct edges with their weights.
+  /// Materializes all distinct edges with their weights. `num_threads`
+  /// parallelizes the per-node neighborhood pass over profile chunks with
+  /// per-thread accumulators; the edge list is merged in chunk order and
+  /// is identical at every thread count.
   static BlockingGraph Build(const BlockCollection& blocks,
                              const ProfileIndex& index,
                              const ProfileStore& store,
-                             WeightingScheme scheme);
+                             WeightingScheme scheme,
+                             std::size_t num_threads = 1);
 
   /// Distinct weighted edges, canonical (i < j), sorted by (i, j).
   const std::vector<Comparison>& edges() const { return edges_; }

@@ -5,6 +5,7 @@
 
 #include "core/macros.h"
 #include "metablocking/neighborhood.h"
+#include "parallel/parallel_for.h"
 
 namespace sper {
 
@@ -36,25 +37,40 @@ const char* ToString(WeightingScheme scheme) {
 
 EdgeWeighter::EdgeWeighter(const BlockCollection& blocks,
                            const ProfileIndex& index,
-                           const ProfileStore& store, WeightingScheme scheme)
+                           const ProfileStore& store, WeightingScheme scheme,
+                           std::size_t num_threads)
     : blocks_(blocks), index_(index), scheme_(scheme) {
   log_num_blocks_ =
       blocks_.size() > 0 ? std::log10(static_cast<double>(blocks_.size()))
                          : 0.0;
-  if (scheme_ == WeightingScheme::kEjs) ComputeDegrees(store);
+  if (scheme_ == WeightingScheme::kEjs) ComputeDegrees(store, num_threads);
 }
 
-void EdgeWeighter::ComputeDegrees(const ProfileStore& store) {
+void EdgeWeighter::ComputeDegrees(const ProfileStore& store,
+                                  std::size_t num_threads) {
   degrees_.assign(store.size(), 0);
-  NeighborhoodAccumulator acc(store.size());
+  // Each chunk owns a contiguous range of profiles: degrees_[i] is only
+  // written by i's chunk, and the per-chunk edge counts are summed in
+  // chunk order, so the result is thread-count invariant.
+  const std::size_t num_chunks =
+      StaticChunks(store.size(), num_threads).size();
+  std::vector<std::uint64_t> chunk_twice_edges(num_chunks, 0);
+  ParallelForChunks(
+      store.size(), num_threads, [&](std::size_t chunk, IndexRange range) {
+        NeighborhoodAccumulator acc(store.size());
+        std::uint64_t twice_edges = 0;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          acc.Gather(static_cast<ProfileId>(i), blocks_, index_, store,
+                     [](BlockId) { return 1.0; },
+                     [&](ProfileId, double) {
+                       ++degrees_[i];
+                       ++twice_edges;
+                     });
+        }
+        chunk_twice_edges[chunk] = twice_edges;
+      });
   std::uint64_t twice_edges = 0;
-  for (ProfileId i = 0; i < store.size(); ++i) {
-    acc.Gather(i, blocks_, index_, store, [](BlockId) { return 1.0; },
-               [&](ProfileId, double) {
-                 ++degrees_[i];
-                 ++twice_edges;
-               });
-  }
+  for (std::uint64_t count : chunk_twice_edges) twice_edges += count;
   const double num_edges = static_cast<double>(twice_edges) / 2.0;
   log_num_edges_ = num_edges > 0 ? std::log10(num_edges) : 0.0;
 }

@@ -50,9 +50,13 @@ const char* ToString(WeightingScheme scheme);
 class EdgeWeighter {
  public:
   /// `blocks` and `index` must outlive the weighter. For kEjs the
-  /// constructor performs one full graph pass to collect node degrees.
+  /// constructor performs one full graph pass to collect node degrees;
+  /// `num_threads` parallelizes that pass over profile chunks with
+  /// per-thread neighborhood accumulators (identical degrees at every
+  /// thread count).
   EdgeWeighter(const BlockCollection& blocks, const ProfileIndex& index,
-               const ProfileStore& store, WeightingScheme scheme);
+               const ProfileStore& store, WeightingScheme scheme,
+               std::size_t num_threads = 1);
 
   /// Weight of the edge (i, j), walking their common blocks.
   /// Returns 0 when the profiles share no block.
@@ -70,7 +74,7 @@ class EdgeWeighter {
   WeightingScheme scheme() const { return scheme_; }
 
  private:
-  void ComputeDegrees(const ProfileStore& store);
+  void ComputeDegrees(const ProfileStore& store, std::size_t num_threads);
 
   const BlockCollection& blocks_;
   const ProfileIndex& index_;

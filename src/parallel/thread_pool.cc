@@ -1,0 +1,69 @@
+#include "parallel/thread_pool.h"
+
+#include <utility>
+
+namespace sper {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr exception = std::exchange(first_exception_, nullptr);
+    std::rethrow_exception(exception);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr exception;
+    try {
+      task();
+    } catch (...) {
+      exception = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (exception != nullptr && first_exception_ == nullptr) {
+        first_exception_ = exception;
+      }
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace sper

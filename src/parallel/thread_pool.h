@@ -1,0 +1,62 @@
+#ifndef SPER_PARALLEL_THREAD_POOL_H_
+#define SPER_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A minimal fixed-size worker pool with a FIFO work queue — the execution
+/// substrate of the parallel initialization paths (token-index sharding,
+/// block filtering, edge weighting). Parallelism here is an implementation
+/// detail of a deterministic library: tasks must not make output depend on
+/// execution order; ParallelFor (parallel_for.h) provides the deterministic
+/// static chunking used by every call site.
+
+namespace sper {
+
+/// Fixed-size thread pool. Submit() enqueues work; Wait() blocks until the
+/// queue drains and every submitted task finished, rethrowing the first
+/// captured task exception if any task threw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins the workers. Pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called concurrently with destruction.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed. If any task threw,
+  /// rethrows the first captured exception and discards the rest.
+  void Wait();
+
+  /// Number of worker threads.
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_exception_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sper
+
+#endif  // SPER_PARALLEL_THREAD_POOL_H_

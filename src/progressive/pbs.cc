@@ -10,7 +10,8 @@ PbsEmitter::PbsEmitter(const ProfileStore& store,
     : store_(store),
       scheduled_(BlockScheduling(blocks)),
       index_(scheduled_, store.size()),
-      weighter_(scheduled_, index_, store, options.scheme) {}
+      weighter_(scheduled_, index_, store, options.scheme,
+                options.num_threads) {}
 
 void PbsEmitter::ProcessBlock(BlockId id) {
   comparisons_.Clear();

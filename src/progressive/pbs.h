@@ -24,6 +24,9 @@ namespace sper {
 struct PbsOptions {
   /// Blocking-graph scheme used to order comparisons inside a block.
   WeightingScheme scheme = WeightingScheme::kArcs;
+  /// Threads for the initialization phase (the kEjs degree pass; the rest
+  /// of PBS initialization is already lazy). Emission stays sequential.
+  std::size_t num_threads = 1;
 };
 
 /// The PBS emitter.

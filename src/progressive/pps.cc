@@ -3,55 +3,90 @@
 #include <algorithm>
 #include <queue>
 #include <unordered_map>
+#include <utility>
+
+#include "parallel/parallel_for.h"
 
 namespace sper {
 
-PpsEmitter::PpsEmitter(const ProfileStore& store,
-                       const BlockCollection& blocks,
+namespace {
+
+/// Algorithm 5's per-node facts, computed independently per profile.
+struct NodeInit {
+  double likelihood = 0.0;
+  Comparison top;
+  bool has_neighbors = false;
+};
+
+}  // namespace
+
+PpsEmitter::PpsEmitter(const ProfileStore& store, BlockCollection blocks,
                        const PpsOptions& options)
     : store_(store),
-      blocks_(blocks),
+      blocks_(std::move(blocks)),
       index_(blocks_, store.size()),
-      weighter_(blocks_, index_, store, options.scheme),
+      weighter_(blocks_, index_, store, options.scheme,
+                options.num_threads),
       options_(options),
       checked_(store.size(), false),
       weights_(store.size(), 0.0) {
   // Algorithm 5: one pass over every node's neighborhood computes the
   // duplication likelihood (mean incident-edge weight) and the node's
-  // top-weighted comparison.
+  // top-weighted comparison. Nodes are independent, so the pass runs over
+  // static profile chunks with per-chunk accumulators; results land in a
+  // per-node slot and are reduced below in id order, making the outcome
+  // identical at every thread count.
+  std::vector<NodeInit> nodes(store_.size());
+  ParallelForChunks(
+      store_.size(), options_.num_threads,
+      [&](std::size_t /*chunk*/, IndexRange range) {
+        // Dense dirty-array accumulator per chunk: peak memory is
+        // 8 B * |P| per thread, traded for hash-free O(1) accumulation
+        // on the hottest loop of the whole initialization. Size
+        // num_threads accordingly on huge stores.
+        std::vector<double> weights(store_.size(), 0.0);
+        std::vector<ProfileId> touched;
+        for (std::size_t idx = range.begin; idx < range.end; ++idx) {
+          const ProfileId i = static_cast<ProfileId>(idx);
+          for (BlockId b : index_.BlocksOf(i)) {
+            const double share = weighter_.BlockContribution(b);
+            for (ProfileId j : blocks_.block(b).profiles) {
+              if (j == i || !store_.IsComparable(i, j)) continue;
+              if (weights[j] == 0.0) touched.push_back(j);
+              weights[j] += share;
+            }
+          }
+          if (touched.empty()) continue;
+
+          double likelihood_sum = 0.0;
+          Comparison top;
+          bool has_top = false;
+          for (ProfileId j : touched) {
+            const double w = weighter_.Finalize(i, j, weights[j]);
+            likelihood_sum += w;
+            const Comparison candidate(i, j, w);
+            if (!has_top || ByWeightDesc()(candidate, top)) {
+              top = candidate;
+              has_top = true;
+            }
+            weights[j] = 0.0;
+          }
+          nodes[i].likelihood =
+              likelihood_sum / static_cast<double>(touched.size());
+          nodes[i].top = top;
+          nodes[i].has_neighbors = true;
+          touched.clear();
+        }
+      });
+
   std::unordered_map<std::uint64_t, Comparison> top_comparisons;
   for (ProfileId i = 0; i < store_.size(); ++i) {
-    for (BlockId b : index_.BlocksOf(i)) {
-      const double share = weighter_.BlockContribution(b);
-      for (ProfileId j : blocks_.block(b).profiles) {
-        if (j == i || !store_.IsComparable(i, j)) continue;
-        if (weights_[j] == 0.0) touched_.push_back(j);
-        weights_[j] += share;
-      }
-    }
-    if (touched_.empty()) continue;
-
-    double likelihood_sum = 0.0;
-    Comparison top;
-    bool has_top = false;
-    for (ProfileId j : touched_) {
-      const double w = weighter_.Finalize(i, j, weights_[j]);
-      likelihood_sum += w;
-      const Comparison candidate(i, j, w);
-      if (!has_top || ByWeightDesc()(candidate, top)) {
-        top = candidate;
-        has_top = true;
-      }
-      weights_[j] = 0.0;
-    }
-    const double duplication_likelihood =
-        likelihood_sum / static_cast<double>(touched_.size());
-    touched_.clear();
-
-    sorted_profiles_.emplace_back(i, duplication_likelihood);
+    if (!nodes[i].has_neighbors) continue;
+    sorted_profiles_.emplace_back(i, nodes[i].likelihood);
     // topComparisonsSet: a set, so the same pair contributed from both
     // endpoints is stored once.
-    top_comparisons.emplace(PairKey(top.i, top.j), top);
+    top_comparisons.emplace(PairKey(nodes[i].top.i, nodes[i].top.j),
+                            nodes[i].top);
   }
 
   // Sort profiles by decreasing duplication likelihood (deterministic tie

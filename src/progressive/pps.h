@@ -36,6 +36,10 @@ struct PpsOptions {
   /// graph edge is eventually emitted — the Same Eventual Quality
   /// configuration).
   std::size_t kmax = 100;
+  /// Threads for the initialization phase (per-profile duplication
+  /// likelihoods + top comparisons). Emission stays sequential. The
+  /// emitted sequence is identical at every thread count.
+  std::size_t num_threads = 1;
 };
 
 /// The PPS emitter.
@@ -43,8 +47,9 @@ class PpsEmitter : public ProgressiveEmitter {
  public:
   /// Initialization phase (Algorithm 5): builds the Profile Index over
   /// `blocks`, computes per-profile duplication likelihoods, the Sorted
-  /// Profile List and the top-weighted comparison of every node.
-  PpsEmitter(const ProfileStore& store, const BlockCollection& blocks,
+  /// Profile List and the top-weighted comparison of every node. Takes the
+  /// collection by value (move it in to avoid the copy).
+  PpsEmitter(const ProfileStore& store, BlockCollection blocks,
              const PpsOptions& options = {});
 
   /// Emission phase (Algorithm 6): pops from the Comparison List; when it

@@ -4,12 +4,16 @@ namespace sper {
 
 BlockCollection BuildTokenWorkflowBlocks(const ProfileStore& store,
                                          const TokenWorkflowOptions& options) {
-  BlockCollection blocks = TokenBlocking(store, options.token_blocking);
+  TokenBlockingOptions token_blocking = options.token_blocking;
+  token_blocking.num_threads = options.num_threads;
+  BlockCollection blocks = TokenBlocking(store, token_blocking);
   if (options.enable_purging) {
     blocks = BlockPurging(blocks, store.size(), options.purging);
   }
   if (options.enable_filtering) {
-    blocks = BlockFiltering(blocks, options.filtering);
+    BlockFilteringOptions filtering = options.filtering;
+    filtering.num_threads = options.num_threads;
+    blocks = BlockFiltering(blocks, filtering);
   }
   return blocks;
 }

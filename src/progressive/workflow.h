@@ -25,6 +25,10 @@ struct TokenWorkflowOptions {
   /// Disable individual steps (used by the workflow ablation bench).
   bool enable_purging = true;
   bool enable_filtering = true;
+  /// Threads for the parallelizable steps (token blocking, filtering).
+  /// Overrides the per-step num_threads knobs; the collection is
+  /// identical at every thread count.
+  std::size_t num_threads = 1;
 };
 
 /// Runs workflow steps 1-3 and returns the resulting block collection.

@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "datagen/datagen.h"
+#include "engine/progressive_engine.h"
 #include "eval/evaluator.h"
 #include "eval/experiment.h"
 #include "progressive/sa_psn.h"
+#include "progressive/workflow.h"
 
 namespace sper {
 namespace {
@@ -102,6 +104,89 @@ TEST(DeterminismTest, DifferentNeighborListSeedsChangeCoincidentalOrder) {
     }
   }
   EXPECT_TRUE(any_difference);
+}
+
+// The parallel initialization paths (sharded token index, block
+// filtering, edge weighting) promise bit-identical results at every
+// thread count. Drain the full emission sequence at 1 and 4 threads and
+// require exact equality — weights compared bit-for-bit, not
+// approximately.
+class ThreadCountInvarianceTest : public ::testing::TestWithParam<MethodId> {
+};
+
+TEST_P(ThreadCountInvarianceTest, OneAndFourThreadsEmitIdenticalSequences) {
+  Result<DatasetBundle> dataset = GenerateDataset("restaurant");
+  ASSERT_TRUE(dataset.ok());
+  auto run = [&](std::size_t num_threads) {
+    EngineOptions options;
+    options.method = GetParam();
+    options.num_threads = num_threads;
+    ProgressiveEngine engine(dataset.value().store, options);
+    return Drain(&engine, 1000000);
+  };
+  const std::vector<Comparison> one = run(1);
+  const std::vector<Comparison> four = run(4);
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_GT(one.size(), 0u);
+  for (std::size_t k = 0; k < one.size(); ++k) {
+    ASSERT_EQ(one[k].i, four[k].i) << "position " << k;
+    ASSERT_EQ(one[k].j, four[k].j) << "position " << k;
+    // Bit-identical, not EXPECT_DOUBLE_EQ: the parallel merge must not
+    // reorder any floating-point accumulation.
+    ASSERT_EQ(one[k].weight, four[k].weight) << "position " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParallelMethods, ThreadCountInvarianceTest,
+                         ::testing::Values(MethodId::kPbs, MethodId::kPps),
+                         [](const ::testing::TestParamInfo<MethodId>& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(DeterminismTest, WorkflowBlocksAreThreadCountInvariant) {
+  // The workflow collection itself (keys, membership, order) must match
+  // exactly, whatever the thread count — including counts that do not
+  // divide the profile count evenly.
+  Result<DatasetBundle> dataset = GenerateDataset("cora");
+  ASSERT_TRUE(dataset.ok());
+  TokenWorkflowOptions sequential;
+  BlockCollection reference =
+      BuildTokenWorkflowBlocks(dataset.value().store, sequential);
+  for (std::size_t num_threads : {2u, 3u, 4u, 7u}) {
+    TokenWorkflowOptions parallel;
+    parallel.num_threads = num_threads;
+    BlockCollection blocks =
+        BuildTokenWorkflowBlocks(dataset.value().store, parallel);
+    ASSERT_EQ(blocks.size(), reference.size()) << num_threads << " threads";
+    EXPECT_EQ(blocks.AggregateCardinality(),
+              reference.AggregateCardinality());
+    for (BlockId b = 0; b < blocks.size(); ++b) {
+      ASSERT_EQ(blocks.block(b).key, reference.block(b).key);
+      ASSERT_EQ(blocks.block(b).profiles, reference.block(b).profiles);
+    }
+  }
+}
+
+TEST(DeterminismTest, EjsDegreePassIsThreadCountInvariant) {
+  // kEjs is the one scheme whose initialization runs a full-graph degree
+  // pass; cover it separately from the ARCS-default engine tests.
+  Result<DatasetBundle> dataset = GenerateDataset("restaurant");
+  ASSERT_TRUE(dataset.ok());
+  auto run = [&](std::size_t num_threads) {
+    EngineOptions options;
+    options.method = MethodId::kPps;
+    options.scheme = WeightingScheme::kEjs;
+    options.num_threads = num_threads;
+    ProgressiveEngine engine(dataset.value().store, options);
+    return Drain(&engine, 5000);
+  };
+  const std::vector<Comparison> one = run(1);
+  const std::vector<Comparison> four = run(4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t k = 0; k < one.size(); ++k) {
+    ASSERT_TRUE(one[k].SamePair(four[k])) << "position " << k;
+    ASSERT_EQ(one[k].weight, four[k].weight) << "position " << k;
+  }
 }
 
 TEST(DeterminismTest, EvaluatorRecallIsRunInvariant) {

@@ -8,11 +8,13 @@
 //       PREFIX_profiles.csv / PREFIX_truth.csv.
 //
 //   sper_cli run <dataset> --method=NAME [--seed=N] [--scale=S]
-//                [--ecmax=E] [--curve=FILE.csv]
+//                [--ecmax=E] [--threads=N] [--curve=FILE.csv]
 //       Run one progressive method under the paper's evaluation protocol;
 //       print the recall curve and AUC*, optionally dump the curve as CSV.
+//       --threads parallelizes the initialization phase (same output at
+//       every thread count).
 //
-//   sper_cli inspect <dataset> [--seed=N] [--scale=S]
+//   sper_cli inspect <dataset> [--seed=N] [--scale=S] [--threads=N]
 //       Dataset statistics plus Token-Blocking-Workflow block statistics.
 
 #include <cstdio>
@@ -69,6 +71,16 @@ std::string OptString(const CliArgs& args, const std::string& key,
   return it == args.options.end() ? fallback : it->second;
 }
 
+std::size_t OptThreads(const CliArgs& args) {
+  // Clamp before the size_t cast: a negative double -> size_t conversion
+  // is UB, and an absurd count would be passed straight into allocation
+  // and thread-spawn sizes.
+  double threads = OptDouble(args, "threads", 1);
+  if (!(threads >= 1)) threads = 1;
+  if (threads > 256) threads = 256;
+  return static_cast<std::size_t>(threads);
+}
+
 DatagenOptions GenOptions(const CliArgs& args) {
   DatagenOptions options;
   options.seed = static_cast<std::uint64_t>(OptDouble(args, "seed", 7));
@@ -121,18 +133,19 @@ int CmdGenerate(const CliArgs& args) {
 }
 
 MethodId ParseMethod(const std::string& name) {
-  for (MethodId id : StructuredMethodSet()) {
-    if (name == ToString(id)) return id;
+  std::optional<MethodId> id = ParseMethodId(name);
+  if (!id.has_value()) {
+    std::fprintf(stderr, "unknown method '%s' (see: sper_cli list)\n",
+                 name.c_str());
+    std::exit(2);
   }
-  std::fprintf(stderr, "unknown method '%s' (see: sper_cli list)\n",
-               name.c_str());
-  std::exit(2);
+  return *id;
 }
 
 int CmdRun(const CliArgs& args) {
   if (args.positional.size() < 2 || !args.options.count("method")) {
     std::fprintf(stderr, "usage: sper_cli run <dataset> --method=NAME "
-                         "[--seed=N] [--scale=S] [--ecmax=E] "
+                         "[--seed=N] [--scale=S] [--ecmax=E] [--threads=N] "
                          "[--curve=FILE.csv]\n");
     return 2;
   }
@@ -149,6 +162,7 @@ int CmdRun(const CliArgs& args) {
   options.auc_at = {1.0, 5.0, 10.0};
   ProgressiveEvaluator evaluator(dataset.value().truth, options);
   MethodConfig config;
+  config.num_threads = OptThreads(args);
   std::unique_ptr<ProgressiveEmitter> probe =
       MakeEmitter(method, dataset.value(), config);
   if (probe == nullptr) {
@@ -200,7 +214,7 @@ int CmdRun(const CliArgs& args) {
 int CmdInspect(const CliArgs& args) {
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: sper_cli inspect <dataset> [--seed=N] "
-                         "[--scale=S]\n");
+                         "[--scale=S] [--threads=N]\n");
     return 2;
   }
   Result<DatasetBundle> dataset =
@@ -220,8 +234,13 @@ int CmdInspect(const CliArgs& args) {
   std::printf("\n  matches |D_P|:  %zu\n", ds.truth.num_matches());
   std::printf("  mean |p|:       %.2f\n", ds.store.MeanProfileSize());
 
-  BlockCollection raw = TokenBlocking(ds.store);
-  BlockCollection workflow = BuildTokenWorkflowBlocks(ds.store);
+  TokenWorkflowOptions workflow_options;
+  workflow_options.num_threads = OptThreads(args);
+  TokenBlockingOptions token_options;
+  token_options.num_threads = workflow_options.num_threads;
+  BlockCollection raw = TokenBlocking(ds.store, token_options);
+  BlockCollection workflow =
+      BuildTokenWorkflowBlocks(ds.store, workflow_options);
   std::printf("  token blocks:   %zu (||B|| = %llu)\n", raw.size(),
               static_cast<unsigned long long>(raw.AggregateCardinality()));
   std::printf("  after workflow: %zu (||B|| = %llu)\n", workflow.size(),
