@@ -1,0 +1,257 @@
+// Hot-path bench: the meta-blocking neighborhood gather (paper Algorithm 5
+// line 10 — the loop edge weighting, PPS initialization and the EJS degree
+// pass all spend their time in), measured on two block layouts:
+//
+//   gather_legacy  the seed layout — one heap std::vector<ProfileId> per
+//                  block plus a per-element IsComparable(i, j) branch
+//                  (replicated here so the speedup stays measurable after
+//                  the layout swap);
+//   gather_csr     the CSR BlockCollection — one contiguous member array,
+//                  and for Clean-Clean ER a per-block split point so the
+//                  scan visits only the opposite-source range with zero
+//                  comparability branches.
+//
+// Both passes execute identical arithmetic in identical order, so their
+// checksums must match bitwise; the bench fails (exit 1) if they do not.
+//
+//   bench_hot_paths [--scale=S] [--dataset=NAME] [--repeat=R]
+//                   [--threads=T1,T2,...] [--json=PATH]
+//
+// --json emits machine-readable {dataset, scale, threads, path, wall_ms,
+// speedup} records (schema: bench/BENCH.md); speedup is legacy/csr at the
+// same thread count.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "blocking/profile_index.h"
+#include "datagen/datagen.h"
+#include "eval/table.h"
+#include "metablocking/neighborhood.h"
+#include "parallel/parallel_for.h"
+#include "progressive/workflow.h"
+
+namespace {
+
+using namespace sper;
+
+double Millis(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The seed's per-block storage, replicated as the bench baseline.
+struct LegacyBlock {
+  std::string key;
+  std::vector<ProfileId> profiles;
+};
+
+/// Deterministic digest of one gather pass: the per-chunk sums are folded
+/// in chunk order, so equal work implies bitwise-equal digests.
+struct Digest {
+  double likelihood_sum = 0.0;
+  std::uint64_t neighbors = 0;
+
+  bool operator==(const Digest& other) const {
+    return likelihood_sum == other.likelihood_sum &&
+           neighbors == other.neighbors;
+  }
+};
+
+/// One full ARCS gather pass over every profile's neighborhood in the
+/// legacy layout: scan all block members, branch on IsComparable.
+Digest GatherLegacy(const ProfileStore& store,
+                    const std::vector<LegacyBlock>& blocks,
+                    const std::vector<double>& shares,
+                    const ProfileIndex& index, std::size_t num_threads) {
+  const std::size_t num_chunks =
+      StaticChunks(store.size(), num_threads).size();
+  std::vector<Digest> parts(num_chunks);
+  ParallelForChunks(
+      store.size(), num_threads, [&](std::size_t chunk, IndexRange range) {
+        std::vector<double> weights(store.size(), 0.0);
+        std::vector<ProfileId> touched;
+        touched.reserve(store.size());
+        Digest digest;
+        for (std::size_t idx = range.begin; idx < range.end; ++idx) {
+          const ProfileId i = static_cast<ProfileId>(idx);
+          for (BlockId b : index.BlocksOf(i)) {
+            const double share = shares[b];
+            for (ProfileId j : blocks[b].profiles) {
+              if (j == i || !store.IsComparable(i, j)) continue;
+              if (weights[j] == 0.0) touched.push_back(j);
+              weights[j] += share;
+            }
+          }
+          for (ProfileId j : touched) {
+            digest.likelihood_sum += weights[j];
+            weights[j] = 0.0;
+          }
+          digest.neighbors += touched.size();
+          touched.clear();
+        }
+        parts[chunk] = digest;
+      });
+  Digest total;
+  for (const Digest& part : parts) {
+    total.likelihood_sum += part.likelihood_sum;
+    total.neighbors += part.neighbors;
+  }
+  return total;
+}
+
+/// The same pass through the production hot path: the library's
+/// NeighborhoodAccumulator::Gather over the CSR collection, so the
+/// reported number tracks the code the emitters actually run.
+Digest GatherCsr(const ProfileStore& store, const BlockCollection& blocks,
+                 const std::vector<double>& shares,
+                 const ProfileIndex& index, std::size_t num_threads) {
+  const std::size_t num_chunks =
+      StaticChunks(store.size(), num_threads).size();
+  std::vector<Digest> parts(num_chunks);
+  ParallelForChunks(
+      store.size(), num_threads, [&](std::size_t chunk, IndexRange range) {
+        NeighborhoodAccumulator acc(store.size());
+        Digest digest;
+        for (std::size_t idx = range.begin; idx < range.end; ++idx) {
+          acc.Gather(static_cast<ProfileId>(idx), blocks, index,
+                     [&](BlockId b) { return shares[b]; },
+                     [&](ProfileId, double accumulated) {
+                       digest.likelihood_sum += accumulated;
+                       ++digest.neighbors;
+                     });
+        }
+        parts[chunk] = digest;
+      });
+  Digest total;
+  for (const Digest& part : parts) {
+    total.likelihood_sum += part.likelihood_sum;
+    total.neighbors += part.neighbors;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  int repeat = 3;
+  std::string dataset_name = "dbpedia";
+  std::string json_path;
+  std::vector<std::size_t> thread_counts = {1, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--dataset=", 10) == 0) {
+      dataset_name = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      repeat = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      thread_counts.clear();
+      for (const char* p = argv[i] + 10; *p != '\0';) {
+        thread_counts.push_back(std::strtoul(p, nullptr, 10));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else {
+      std::printf(
+          "usage: %s [--scale=S] [--dataset=NAME] [--repeat=R] "
+          "[--threads=T1,T2,...] [--json=PATH]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+
+  DatagenOptions gen;
+  gen.scale = scale;
+  Result<DatasetBundle> dataset = GenerateDataset(dataset_name, gen);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const ProfileStore& store = dataset.value().store;
+  std::printf("dataset %s: %zu profiles (scale %.2f, %s), "
+              "hardware threads %u\n",
+              dataset.value().name.c_str(), store.size(), scale,
+              ToString(store.er_type()),
+              std::thread::hardware_concurrency());
+
+  BlockCollection blocks = BuildTokenWorkflowBlocks(store, {});
+  ProfileIndex index(blocks, store.size());
+  std::printf("blocks %zu, memberships %zu, ||B|| %llu\n", blocks.size(),
+              blocks.total_members(),
+              static_cast<unsigned long long>(blocks.AggregateCardinality()));
+
+  // ARCS shares per block, shared by both layouts so the measured delta is
+  // purely the member-scan layout.
+  std::vector<double> shares(blocks.size(), 0.0);
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    const double card = static_cast<double>(blocks.Cardinality(b));
+    shares[b] = card > 0 ? 1.0 / card : 0.0;
+  }
+
+  // Materialize the seed layout from the CSR collection.
+  std::vector<LegacyBlock> legacy(blocks.size());
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    std::span<const ProfileId> members = blocks.members(b);
+    legacy[b].key = std::string(blocks.key(b));
+    legacy[b].profiles.assign(members.begin(), members.end());
+  }
+
+  std::vector<sper::bench::JsonRecord> records;
+  TextTable table(
+      {"threads", "legacy (ms)", "csr (ms)", "speedup", "digest"});
+  bool ok = true;
+  for (std::size_t num_threads : thread_counts) {
+    double best_legacy = 0.0, best_csr = 0.0;
+    Digest legacy_digest, csr_digest;
+    for (int r = 0; r < repeat; ++r) {
+      {
+        const auto start = std::chrono::steady_clock::now();
+        legacy_digest =
+            GatherLegacy(store, legacy, shares, index, num_threads);
+        const double ms = Millis(start);
+        if (r == 0 || ms < best_legacy) best_legacy = ms;
+      }
+      {
+        const auto start = std::chrono::steady_clock::now();
+        csr_digest = GatherCsr(store, blocks, shares, index, num_threads);
+        const double ms = Millis(start);
+        if (r == 0 || ms < best_csr) best_csr = ms;
+      }
+    }
+    const bool match = legacy_digest == csr_digest;
+    ok = ok && match;
+    const double speedup = best_csr > 0 ? best_legacy / best_csr : 0.0;
+    table.AddRow({std::to_string(num_threads),
+                  FormatDouble(best_legacy, 1), FormatDouble(best_csr, 1),
+                  FormatDouble(speedup, 2) + "x",
+                  match ? "match" : "MISMATCH"});
+    records.push_back({dataset.value().name, scale, num_threads,
+                       "gather_legacy", best_legacy, 1.0});
+    records.push_back({dataset.value().name, scale, num_threads,
+                       "gather_csr", best_csr, speedup});
+  }
+  table.Print();
+  std::printf("\ndigest = identical neighbor counts and likelihood sums; a\n"
+              "mismatch means the CSR scan visited different work.\n");
+
+  if (!json_path.empty() &&
+      !sper::bench::WriteJsonRecords(json_path, records)) {
+    return 1;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: layout digests diverged\n");
+    return 1;
+  }
+  return 0;
+}

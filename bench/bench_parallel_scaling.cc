@@ -7,8 +7,12 @@
 // may change.
 //
 //   bench_parallel_scaling [--scale=S] [--dataset=NAME] [--repeat=R]
+//                          [--json=PATH]
 //
-// Speedups depend on the hardware's core count; see bench/BENCH.md.
+// --json emits machine-readable {dataset, scale, threads, path, wall_ms,
+// speedup} records (schema: bench/BENCH.md); speedup is relative to the
+// same path's 1-thread run. Speedups depend on the hardware's core count;
+// see bench/BENCH.md.
 
 #include <chrono>
 #include <cstdio>
@@ -17,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "datagen/datagen.h"
 #include "engine/progressive_engine.h"
 #include "eval/table.h"
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   int repeat = 2;
   std::string dataset_name = "dbpedia";
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       scale = std::atof(argv[i] + 8);
@@ -87,9 +93,13 @@ int main(int argc, char** argv) {
       dataset_name = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
       repeat = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
-      std::printf("usage: %s [--scale=S] [--dataset=NAME] [--repeat=R]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--scale=S] [--dataset=NAME] [--repeat=R] "
+          "[--json=PATH]\n",
+          argv[0]);
       return 2;
     }
   }
@@ -129,5 +139,22 @@ int main(int argc, char** argv) {
   std::printf("\noutputs are identical at every thread count; speedup is\n"
               "bounded by physical cores (this machine reports %u).\n",
               std::thread::hardware_concurrency());
+
+  if (!json_path.empty()) {
+    std::vector<bench::JsonRecord> records;
+    const std::string& name = dataset.value().name;
+    for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+      auto add = [&](const char* path, double seconds, double base) {
+        records.push_back({name, scale, thread_counts[t], path,
+                           seconds * 1000.0,
+                           seconds > 0 ? base / seconds : 0.0});
+      };
+      add("token_blocking", timings[t].token_blocking,
+          timings[0].token_blocking);
+      add("workflow", timings[t].workflow, timings[0].workflow);
+      add("pps_init", timings[t].engine_init, timings[0].engine_init);
+    }
+    if (!bench::WriteJsonRecords(json_path, records)) return 1;
+  }
   return 0;
 }

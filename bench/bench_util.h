@@ -42,6 +42,44 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
   return args;
 }
 
+/// One machine-readable measurement of a bench run. Serialized by
+/// WriteJsonRecords; the schema is documented in bench/BENCH.md.
+struct JsonRecord {
+  std::string dataset;
+  double scale = 1.0;
+  std::size_t threads = 1;
+  /// Which measured code path the record belongs to (e.g. "gather_csr").
+  std::string path;
+  double wall_ms = 0.0;
+  /// Speedup relative to the record's documented baseline (1.0 for the
+  /// baseline rows themselves).
+  double speedup = 1.0;
+};
+
+/// Writes the records as a JSON array of flat objects, one per line.
+/// Returns false (and prints to stderr) when the file cannot be opened.
+inline bool WriteJsonRecords(const std::string& file,
+                             const std::vector<JsonRecord>& records) {
+  std::FILE* out = std::fopen(file.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", file.c_str());
+    return false;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    std::fprintf(out,
+                 "  {\"dataset\": \"%s\", \"scale\": %g, \"threads\": %zu, "
+                 "\"path\": \"%s\", \"wall_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 r.dataset.c_str(), r.scale, r.threads, r.path.c_str(),
+                 r.wall_ms, r.speedup, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote %zu records to %s\n", records.size(), file.c_str());
+  return true;
+}
+
 /// The paper's GS-PSN window ranges: 20 for structured datasets, 200 for
 /// the large heterogeneous ones — except that the two web-scale datasets
 /// get smaller ranges, mirroring the paper's own memory cap on freebase

@@ -1,36 +1,65 @@
 #include "blocking/block_collection.h"
 
 #include <algorithm>
-#include <utility>
 
 namespace sper {
 
-std::uint64_t BlockCollection::ComputeCardinality(const Block& block) const {
-  const std::vector<ProfileId>& ps = block.profiles;
+std::uint64_t BlockCollection::ComputeCardinality(
+    std::span<const ProfileId> members) const {
   if (er_type_ == ErType::kDirty) {
-    const std::uint64_t n = ps.size();
+    const std::uint64_t n = members.size();
     return n * (n - 1) / 2;
   }
-  const auto first2 = std::lower_bound(ps.begin(), ps.end(), split_index_);
-  const std::uint64_t n1 = static_cast<std::uint64_t>(first2 - ps.begin());
-  const std::uint64_t n2 = ps.size() - n1;
+  const auto first2 =
+      std::lower_bound(members.begin(), members.end(), split_index_);
+  const std::uint64_t n1 = static_cast<std::uint64_t>(first2 - members.begin());
+  const std::uint64_t n2 = members.size() - n1;
   return n1 * n2;
 }
 
-BlockId BlockCollection::Add(Block block) {
-  SPER_DCHECK(std::is_sorted(block.profiles.begin(), block.profiles.end()));
-  const std::uint64_t card = ComputeCardinality(block);
-  blocks_.push_back(std::move(block));
+BlockId BlockCollection::Add(std::string_view key,
+                             std::span<const ProfileId> members) {
+  SPER_DCHECK(std::is_sorted(members.begin(), members.end()));
+  // One lower_bound per block at build time buys branch-free scans on
+  // every later traversal.
+  const std::size_t local_split =
+      er_type_ == ErType::kDirty
+          ? members.size()
+          : static_cast<std::size_t>(
+                std::lower_bound(members.begin(), members.end(),
+                                 split_index_) -
+                members.begin());
+  const std::uint64_t n = members.size();
+  const std::uint64_t n1 = local_split;
+  const std::uint64_t n2 = n - n1;
+  const std::uint64_t card =
+      er_type_ == ErType::kDirty ? n * (n - 1) / 2 : n1 * n2;
+
+  const std::uint64_t begin = members_.size();
+  members_.insert(members_.end(), members.begin(), members.end());
+  member_offsets_.push_back(members_.size());
+  split_offsets_.push_back(begin + local_split);
+  key_arena_.append(key);
+  key_offsets_.push_back(key_arena_.size());
   cardinalities_.push_back(card);
   aggregate_cardinality_ += card;
-  return static_cast<BlockId>(blocks_.size() - 1);
+  return static_cast<BlockId>(cardinalities_.size() - 1);
+}
+
+void BlockCollection::Reserve(std::size_t num_blocks,
+                              std::size_t total_members,
+                              std::size_t total_key_bytes) {
+  members_.reserve(total_members);
+  member_offsets_.reserve(num_blocks + 1);
+  split_offsets_.reserve(num_blocks);
+  key_arena_.reserve(total_key_bytes);
+  key_offsets_.reserve(num_blocks + 1);
+  cardinalities_.reserve(num_blocks);
 }
 
 double BlockCollection::MeanBlockSize() const {
-  if (blocks_.empty()) return 0.0;
-  std::uint64_t total = 0;
-  for (const Block& b : blocks_) total += b.size();
-  return static_cast<double>(total) / static_cast<double>(blocks_.size());
+  if (empty()) return 0.0;
+  return static_cast<double>(members_.size()) / static_cast<double>(size());
 }
 
 }  // namespace sper

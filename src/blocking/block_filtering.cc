@@ -14,16 +14,15 @@ namespace sper {
 BlockCollection BlockFiltering(const BlockCollection& input,
                                const BlockFilteringOptions& options) {
   // Pass 1: collect, per profile, the blocks it appears in. Profile ids
-  // are dense, so a plain vector indexed by id suffices.
+  // are dense, so a plain vector indexed by id suffices; the membership
+  // scan streams over the CSR member array once.
   ProfileId num_profiles = 0;
-  for (const Block& block : input.blocks()) {
-    for (ProfileId p : block.profiles) {
-      num_profiles = std::max(num_profiles, p + 1);
-    }
+  for (ProfileId p : input.all_members()) {
+    num_profiles = std::max(num_profiles, p + 1);
   }
   std::vector<std::vector<BlockId>> profile_blocks(num_profiles);
   for (BlockId b = 0; b < input.size(); ++b) {
-    for (ProfileId p : input.block(b).profiles) {
+    for (ProfileId p : input.members(b)) {
       profile_blocks[p].push_back(b);
     }
   }
@@ -35,8 +34,8 @@ BlockCollection BlockFiltering(const BlockCollection& input,
   ParallelFor(num_profiles, options.num_threads, [&](std::size_t p) {
     std::vector<BlockId>& blocks = profile_blocks[p];
     std::sort(blocks.begin(), blocks.end(), [&](BlockId a, BlockId b) {
-      const std::size_t sa = input.block(a).size();
-      const std::size_t sb = input.block(b).size();
+      const std::size_t sa = input.block_size(a);
+      const std::size_t sb = input.block_size(b);
       if (sa != sb) return sa < sb;
       return a < b;
     });
@@ -50,8 +49,7 @@ BlockCollection BlockFiltering(const BlockCollection& input,
   // retained memberships, then append the survivors in block-id order.
   std::vector<std::vector<ProfileId>> filtered(input.size());
   ParallelFor(input.size(), options.num_threads, [&](std::size_t b) {
-    const Block& block = input.block(static_cast<BlockId>(b));
-    for (ProfileId p : block.profiles) {
+    for (ProfileId p : input.members(static_cast<BlockId>(b))) {
       if (std::binary_search(profile_blocks[p].begin(),
                              profile_blocks[p].end(),
                              static_cast<BlockId>(b))) {
@@ -60,11 +58,20 @@ BlockCollection BlockFiltering(const BlockCollection& input,
     }
   });
 
-  BlockCollection out(input.er_type(), input.split_index());
+  std::vector<std::uint64_t> cardinalities(input.size(), 0);
+  std::size_t kept_blocks = 0, kept_members = 0, kept_key_bytes = 0;
   for (BlockId b = 0; b < input.size(); ++b) {
-    Block block{input.block(b).key, std::move(filtered[b])};
-    if (out.ComputeCardinality(block) == 0) continue;
-    out.Add(std::move(block));
+    cardinalities[b] = input.ComputeCardinality(filtered[b]);
+    if (cardinalities[b] == 0) continue;
+    ++kept_blocks;
+    kept_members += filtered[b].size();
+    kept_key_bytes += input.key(b).size();
+  }
+  BlockCollection out(input.er_type(), input.split_index());
+  out.Reserve(kept_blocks, kept_members, kept_key_bytes);
+  for (BlockId b = 0; b < input.size(); ++b) {
+    if (cardinalities[b] == 0) continue;
+    out.Add(input.key(b), filtered[b]);
   }
   return out;
 }

@@ -7,10 +7,20 @@ BlockCollection BlockPurging(const BlockCollection& input,
                              const BlockPurgingOptions& options) {
   const double max_size =
       options.max_size_ratio * static_cast<double>(num_profiles);
+  // Sizing pass over the CSR offsets (O(|B|), no member scan), so the
+  // survivor collection is built with zero reallocations.
+  std::size_t kept_blocks = 0, kept_members = 0, kept_key_bytes = 0;
+  for (BlockId id = 0; id < input.size(); ++id) {
+    if (static_cast<double>(input.block_size(id)) > max_size) continue;
+    ++kept_blocks;
+    kept_members += input.block_size(id);
+    kept_key_bytes += input.key(id).size();
+  }
   BlockCollection out(input.er_type(), input.split_index());
-  for (const Block& b : input.blocks()) {
-    if (static_cast<double>(b.size()) > max_size) continue;
-    out.Add(b);
+  out.Reserve(kept_blocks, kept_members, kept_key_bytes);
+  for (BlockId id = 0; id < input.size(); ++id) {
+    if (static_cast<double>(input.block_size(id)) > max_size) continue;
+    out.Add(input.key(id), input.members(id));
   }
   return out;
 }

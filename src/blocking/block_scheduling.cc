@@ -13,11 +13,12 @@ BlockCollection BlockScheduling(const BlockCollection& input) {
     const auto ca = input.Cardinality(a);
     const auto cb = input.Cardinality(b);
     if (ca != cb) return ca < cb;
-    return input.block(a).key < input.block(b).key;
+    return input.key(a) < input.key(b);
   });
 
   BlockCollection out(input.er_type(), input.split_index());
-  for (BlockId id : order) out.Add(input.block(id));
+  out.Reserve(input.size(), input.total_members(), input.total_key_bytes());
+  for (BlockId id : order) out.Add(input.key(id), input.members(id));
   return out;
 }
 

@@ -5,16 +5,16 @@ namespace sper {
 ProfileIndex::ProfileIndex(const BlockCollection& blocks,
                            std::size_t num_profiles) {
   offsets_.assign(num_profiles + 1, 0);
-  for (const Block& b : blocks.blocks()) {
-    for (ProfileId p : b.profiles) ++offsets_[p + 1];
-  }
+  // One streaming pass over the CSR member array counts memberships;
+  // block boundaries are irrelevant for the histogram.
+  for (ProfileId p : blocks.all_members()) ++offsets_[p + 1];
   for (std::size_t i = 1; i <= num_profiles; ++i) {
     offsets_[i] += offsets_[i - 1];
   }
   flat_.resize(offsets_[num_profiles]);
   std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (BlockId id = 0; id < blocks.size(); ++id) {
-    for (ProfileId p : blocks.block(id).profiles) {
+    for (ProfileId p : blocks.members(id)) {
       flat_[cursor[p]++] = id;
     }
   }

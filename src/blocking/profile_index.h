@@ -35,6 +35,13 @@ class ProfileIndex {
     return offsets_[p + 1] - offsets_[p];
   }
 
+  /// Σ_{p in [begin, end)} |B_p| in O(1): the number of index entries of a
+  /// contiguous profile range. Lets parallel chunk workers pre-size their
+  /// per-chunk buffers without a counting pass.
+  std::uint64_t NumEntriesIn(std::size_t begin, std::size_t end) const {
+    return offsets_[end] - offsets_[begin];
+  }
+
   /// The Least Common Block Index operation (Sec. 5.2.1): the smallest
   /// block id shared by `a` and `b`, or kInvalidBlock when they share none.
   BlockId LeastCommonBlock(ProfileId a, ProfileId b) const;

@@ -1,6 +1,5 @@
 #include "blocking/standard_blocking.h"
 
-#include <algorithm>
 #include <map>
 #include <string>
 #include <utility>
@@ -19,10 +18,9 @@ BlockCollection StandardBlocking(const ProfileStore& store,
   }
 
   BlockCollection collection(store.er_type(), store.split_index());
-  for (auto& [key, ids] : postings) {
-    Block block{key, std::move(ids)};
-    if (collection.ComputeCardinality(block) == 0) continue;
-    collection.Add(std::move(block));
+  for (const auto& [key, ids] : postings) {
+    if (collection.ComputeCardinality(ids) == 0) continue;
+    collection.Add(key, ids);
   }
   return collection;
 }

@@ -29,7 +29,7 @@ SuffixForest SuffixForest::Build(const ProfileStore& store,
     }
   }
 
-  // Geometry helper for cardinalities.
+  // Geometry helper for cardinalities and split points.
   BlockCollection geometry(store.er_type(), store.split_index());
 
   SuffixForest forest;
@@ -39,9 +39,16 @@ SuffixForest SuffixForest::Build(const ProfileStore& store,
     SuffixNode node;
     node.suffix = std::move(node_handle.key());
     node.profiles = std::move(node_handle.mapped());
-    Block probe{"", node.profiles};
-    node.cardinality = geometry.ComputeCardinality(probe);
+    node.cardinality = geometry.ComputeCardinality(node.profiles);
     if (node.cardinality == 0) continue;
+    node.split =
+        store.er_type() == ErType::kDirty
+            ? node.profiles.size()
+            : static_cast<std::size_t>(
+                  std::lower_bound(node.profiles.begin(),
+                                   node.profiles.end(),
+                                   store.split_index()) -
+                  node.profiles.begin());
     forest.total_comparisons_ += node.cardinality;
     forest.nodes_.push_back(std::move(node));
   }

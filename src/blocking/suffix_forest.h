@@ -37,6 +37,10 @@ struct SuffixNode {
   std::vector<ProfileId> profiles;
   /// Comparisons this node yields under the store's ER geometry.
   std::uint64_t cardinality = 0;
+  /// Clean-Clean split point: index of the first source-2 profile in
+  /// `profiles` (== profiles.size() for Dirty ER). Lets SA-PSAB iterate
+  /// cross-source pairs directly, with no per-pair comparability test.
+  std::size_t split = 0;
 };
 
 /// The suffix forest: nodes pre-sorted in SA-PSAB processing order

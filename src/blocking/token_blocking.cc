@@ -99,24 +99,35 @@ BlockCollection TokenBlocking(const ProfileStore& store,
   // shards. Every token lives in exactly one shard, so keys are unique.
   struct KeyRef {
     const std::string* key;
-    std::size_t shard;
+    const std::vector<ProfileId>* ids;
   };
   std::vector<KeyRef> keys;
   std::size_t total = 0;
   for (const PostingsMap& shard : shards) total += shard.size();
   keys.reserve(total);
-  for (std::size_t s = 0; s < shards.size(); ++s) {
-    for (const auto& [token, ids] : shards[s]) keys.push_back({&token, s});
+  for (const PostingsMap& shard : shards) {
+    for (const auto& [token, ids] : shard) keys.push_back({&token, &ids});
   }
   std::sort(keys.begin(), keys.end(),
             [](const KeyRef& a, const KeyRef& b) { return *a.key < *b.key; });
 
+  // Emit straight into the CSR collection: size the flat arrays from the
+  // surviving postings, then append in key order — no intermediate
+  // per-block structures beyond the postings lists themselves.
   BlockCollection collection(store.er_type(), store.split_index());
-  for (const KeyRef& ref : keys) {
-    auto node = shards[ref.shard].extract(*ref.key);
-    Block block{std::move(node.key()), std::move(node.mapped())};
-    if (collection.ComputeCardinality(block) == 0) continue;
-    collection.Add(std::move(block));
+  std::vector<std::uint64_t> cardinalities(keys.size(), 0);
+  std::size_t kept_blocks = 0, kept_members = 0, kept_key_bytes = 0;
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    cardinalities[k] = collection.ComputeCardinality(*keys[k].ids);
+    if (cardinalities[k] == 0) continue;
+    ++kept_blocks;
+    kept_members += keys[k].ids->size();
+    kept_key_bytes += keys[k].key->size();
+  }
+  collection.Reserve(kept_blocks, kept_members, kept_key_bytes);
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    if (cardinalities[k] == 0) continue;
+    collection.Add(*keys[k].key, *keys[k].ids);
   }
   return collection;
 }

@@ -27,12 +27,15 @@ BlockingGraph BlockingGraph::Build(const BlockCollection& blocks,
       store.size(), num_threads,
       [&](std::size_t chunk, IndexRange range) {
         std::vector<Comparison> edges;
+        // The chunk's index-entry count is a cheap O(1) proxy for its
+        // neighbor count; reserving it up front avoids growth churn.
+        edges.reserve(index.NumEntriesIn(range.begin, range.end));
         std::vector<std::uint8_t>& in_graph = chunk_in_graph[chunk];
         NeighborhoodAccumulator acc(store.size());
         for (std::size_t idx = range.begin; idx < range.end; ++idx) {
           const ProfileId i = static_cast<ProfileId>(idx);
           acc.Gather(
-              i, blocks, index, store,
+              i, blocks, index,
               [&](BlockId b) { return weighter.BlockContribution(b); },
               [&](ProfileId j, double accumulated) {
                 in_graph[i] = in_graph[j] = 1;
@@ -47,15 +50,15 @@ BlockingGraph BlockingGraph::Build(const BlockCollection& blocks,
         return edges;
       });
 
-  std::size_t num_nodes = 0;
-  for (ProfileId p = 0; p < store.size(); ++p) {
-    for (const std::vector<std::uint8_t>& in_graph : chunk_in_graph) {
-      if (in_graph[p]) {
-        ++num_nodes;
-        break;
-      }
-    }
+  // OR the per-chunk presence bitmaps into one, then count — one pass per
+  // chunk plus one counting pass, instead of rescanning every chunk's
+  // bitmap per profile.
+  std::vector<std::uint8_t> in_graph(store.size(), 0);
+  for (const std::vector<std::uint8_t>& chunk : chunk_in_graph) {
+    for (std::size_t p = 0; p < chunk.size(); ++p) in_graph[p] |= chunk[p];
   }
+  std::size_t num_nodes = 0;
+  for (std::uint8_t present : in_graph) num_nodes += present;
   graph.num_nodes_ = num_nodes;
   std::sort(graph.edges_.begin(), graph.edges_.end(),
             [](const Comparison& a, const Comparison& b) {

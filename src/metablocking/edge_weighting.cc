@@ -60,7 +60,7 @@ void EdgeWeighter::ComputeDegrees(const ProfileStore& store,
         NeighborhoodAccumulator acc(store.size());
         std::uint64_t twice_edges = 0;
         for (std::size_t i = range.begin; i < range.end; ++i) {
-          acc.Gather(static_cast<ProfileId>(i), blocks_, index_, store,
+          acc.Gather(static_cast<ProfileId>(i), blocks_, index_,
                      [](BlockId) { return 1.0; },
                      [&](ProfileId, double) {
                        ++degrees_[i];

@@ -1,18 +1,25 @@
 #ifndef SPER_METABLOCKING_NEIGHBORHOOD_H_
 #define SPER_METABLOCKING_NEIGHBORHOOD_H_
 
+#include <span>
 #include <vector>
 
 #include "blocking/block_collection.h"
 #include "blocking/profile_index.h"
-#include "core/profile_store.h"
 #include "core/types.h"
 
 /// \file neighborhood.h
 /// Sparse accumulation over a profile's blocking-graph neighborhood: the
 /// classic meta-blocking "dirty array + touched list" pattern. Visiting
 /// profile i costs O(Σ_{b ∈ B_i} |b|) with no hashing and no allocation
-/// after the first use.
+/// after construction.
+///
+/// The inner loop is partition-aware: for Clean-Clean ER it scans only the
+/// opposite-source range of each block (via the collection's precomputed
+/// split points), so there is no per-element comparability branch at all;
+/// Dirty ER keeps only the j != i check. Either way neighbors are visited
+/// in exactly the order the full scan-and-test loop would visit them, so
+/// downstream emission orders are unchanged.
 
 namespace sper {
 
@@ -20,7 +27,11 @@ namespace sper {
 class NeighborhoodAccumulator {
  public:
   explicit NeighborhoodAccumulator(std::size_t num_profiles)
-      : acc_(num_profiles, 0.0) {}
+      : acc_(num_profiles, 0.0) {
+    // Worst case every other profile is a neighbor; one up-front
+    // reservation kills reallocation churn in the hot loop.
+    touched_.reserve(num_profiles);
+  }
 
   /// Accumulates `contribution(b)` into every comparable co-occurring
   /// profile of `i` across all blocks of `i`, then invokes
@@ -29,14 +40,24 @@ class NeighborhoodAccumulator {
   /// for ARCS, 1 for count-based schemes).
   template <typename ContributionFn, typename Fn>
   void Gather(ProfileId i, const BlockCollection& blocks,
-              const ProfileIndex& index, const ProfileStore& store,
-              ContributionFn&& contribution, Fn&& fn) {
-    for (BlockId b : index.BlocksOf(i)) {
-      const double share = contribution(b);
-      for (ProfileId j : blocks.block(b).profiles) {
-        if (j == i || !store.IsComparable(i, j)) continue;
-        if (acc_[j] == 0.0) touched_.push_back(j);
-        acc_[j] += share;
+              const ProfileIndex& index, ContributionFn&& contribution,
+              Fn&& fn) {
+    if (blocks.er_type() == ErType::kCleanClean) {
+      for (BlockId b : index.BlocksOf(i)) {
+        const double share = contribution(b);
+        for (ProfileId j : blocks.OppositeSource(b, i)) {
+          if (acc_[j] == 0.0) touched_.push_back(j);
+          acc_[j] += share;
+        }
+      }
+    } else {
+      for (BlockId b : index.BlocksOf(i)) {
+        const double share = contribution(b);
+        for (ProfileId j : blocks.members(b)) {
+          if (j == i) continue;
+          if (acc_[j] == 0.0) touched_.push_back(j);
+          acc_[j] += share;
+        }
       }
     }
     for (ProfileId j : touched_) {

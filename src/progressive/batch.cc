@@ -6,12 +6,15 @@ namespace sper {
 
 std::vector<Comparison> DistinctBlockComparisons(const BlockCollection& blocks,
                                                  const ProfileStore& store) {
+  // ForEachComparison yields only valid pairs (distinct for Dirty ER,
+  // cross-source via the precomputed split point for Clean-Clean), so no
+  // per-pair comparability test is needed here.
+  (void)store;
   std::vector<Comparison> out;
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(blocks.AggregateCardinality());
   for (BlockId b = 0; b < blocks.size(); ++b) {
     blocks.ForEachComparison(b, [&](ProfileId i, ProfileId j) {
-      if (!store.IsComparable(i, j)) return;
       if (seen.insert(PairKey(i, j)).second) {
         out.emplace_back(i, j, 0.0);
       }
@@ -22,11 +25,11 @@ std::vector<Comparison> DistinctBlockComparisons(const BlockCollection& blocks,
 
 std::uint64_t CountDistinctComparisons(const BlockCollection& blocks,
                                        const ProfileStore& store) {
+  (void)store;
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(blocks.AggregateCardinality());
   for (BlockId b = 0; b < blocks.size(); ++b) {
     blocks.ForEachComparison(b, [&](ProfileId i, ProfileId j) {
-      if (!store.IsComparable(i, j)) return;
       seen.insert(PairKey(i, j));
     });
   }

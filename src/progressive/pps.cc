@@ -30,6 +30,7 @@ PpsEmitter::PpsEmitter(const ProfileStore& store, BlockCollection blocks,
       options_(options),
       checked_(store.size(), false),
       weights_(store.size(), 0.0) {
+  touched_.reserve(store.size());
   // Algorithm 5: one pass over every node's neighborhood computes the
   // duplication likelihood (mean incident-edge weight) and the node's
   // top-weighted comparison. Nodes are independent, so the pass runs over
@@ -46,14 +47,29 @@ PpsEmitter::PpsEmitter(const ProfileStore& store, BlockCollection blocks,
         // num_threads accordingly on huge stores.
         std::vector<double> weights(store_.size(), 0.0);
         std::vector<ProfileId> touched;
+        touched.reserve(store_.size());
+        const bool clean_clean = blocks_.er_type() == ErType::kCleanClean;
         for (std::size_t idx = range.begin; idx < range.end; ++idx) {
           const ProfileId i = static_cast<ProfileId>(idx);
-          for (BlockId b : index_.BlocksOf(i)) {
-            const double share = weighter_.BlockContribution(b);
-            for (ProfileId j : blocks_.block(b).profiles) {
-              if (j == i || !store_.IsComparable(i, j)) continue;
-              if (weights[j] == 0.0) touched.push_back(j);
-              weights[j] += share;
+          // Algorithm 5 line 10, partition-aware: Clean-Clean scans only
+          // the opposite-source range of each block (no comparability
+          // branch); Dirty keeps only the j != i check.
+          if (clean_clean) {
+            for (BlockId b : index_.BlocksOf(i)) {
+              const double share = weighter_.BlockContribution(b);
+              for (ProfileId j : blocks_.OppositeSource(b, i)) {
+                if (weights[j] == 0.0) touched.push_back(j);
+                weights[j] += share;
+              }
+            }
+          } else {
+            for (BlockId b : index_.BlocksOf(i)) {
+              const double share = weighter_.BlockContribution(b);
+              for (ProfileId j : blocks_.members(b)) {
+                if (j == i) continue;
+                if (weights[j] == 0.0) touched.push_back(j);
+                weights[j] += share;
+              }
             }
           }
           if (touched.empty()) continue;
@@ -107,13 +123,25 @@ void PpsEmitter::ProcessProfile(ProfileId i) {
   // Gather unchecked comparable neighbors (Algorithm 6 lines 9-14): a
   // neighbor that was processed earlier had higher duplication likelihood,
   // and its Kmax best comparisons already covered this pair with more
-  // reliable evidence.
-  for (BlockId b : index_.BlocksOf(i)) {
-    const double share = weighter_.BlockContribution(b);
-    for (ProfileId j : blocks_.block(b).profiles) {
-      if (j == i || checked_[j] || !store_.IsComparable(i, j)) continue;
-      if (weights_[j] == 0.0) touched_.push_back(j);
-      weights_[j] += share;
+  // reliable evidence. Partition-aware like the init pass; checked_[i] is
+  // set above, so the Dirty scan needs no separate j != i test.
+  if (blocks_.er_type() == ErType::kCleanClean) {
+    for (BlockId b : index_.BlocksOf(i)) {
+      const double share = weighter_.BlockContribution(b);
+      for (ProfileId j : blocks_.OppositeSource(b, i)) {
+        if (checked_[j]) continue;
+        if (weights_[j] == 0.0) touched_.push_back(j);
+        weights_[j] += share;
+      }
+    }
+  } else {
+    for (BlockId b : index_.BlocksOf(i)) {
+      const double share = weighter_.BlockContribution(b);
+      for (ProfileId j : blocks_.members(b)) {
+        if (checked_[j]) continue;
+        if (weights_[j] == 0.0) touched_.push_back(j);
+        weights_[j] += share;
+      }
     }
   }
 

@@ -5,34 +5,49 @@ namespace sper {
 SaPsabEmitter::SaPsabEmitter(const ProfileStore& store,
                              const SuffixForestOptions& options)
     : store_(store), forest_(SuffixForest::Build(store, options)) {
+  ResetCursor();
+}
+
+void SaPsabEmitter::ResetCursor() {
   x_ = 0;
-  y_ = 1;
+  if (node_ >= forest_.nodes().size()) {
+    y_ = 0;
+    return;
+  }
+  // Clean-Clean: x walks the source-1 prefix, y the source-2 suffix —
+  // every (x, y) pair is cross-source by construction, so emission needs
+  // no per-pair comparability test. Dirty: all pairs x < y are valid.
+  const SuffixNode& n = forest_.nodes()[node_];
+  y_ = store_.er_type() == ErType::kCleanClean ? n.split : 1;
 }
 
 std::optional<Comparison> SaPsabEmitter::Next() {
+  const bool clean_clean = store_.er_type() == ErType::kCleanClean;
   while (node_ < forest_.nodes().size()) {
     const SuffixNode& n = forest_.nodes()[node_];
-    while (x_ + 1 < n.profiles.size()) {
-      if (y_ >= n.profiles.size()) {
+    // All comparisons of a node share its likelihood; we expose the
+    // node's rank-derived score so weights are non-increasing across
+    // nodes.
+    const double weight = 1.0 / static_cast<double>(node_ + 1);
+    if (clean_clean) {
+      while (x_ < n.split) {
+        if (y_ < n.profiles.size()) {
+          return Comparison(n.profiles[x_], n.profiles[y_++], weight);
+        }
+        ++x_;
+        y_ = n.split;
+      }
+    } else {
+      while (x_ + 1 < n.profiles.size()) {
+        if (y_ < n.profiles.size()) {
+          return Comparison(n.profiles[x_], n.profiles[y_++], weight);
+        }
         ++x_;
         y_ = x_ + 1;
-        continue;
-      }
-      const ProfileId a = n.profiles[x_];
-      const ProfileId b = n.profiles[y_];
-      ++y_;
-      if (store_.IsComparable(a, b)) {
-        // All comparisons of a node share its likelihood; we expose the
-        // node's rank-derived score so weights are non-increasing across
-        // nodes.
-        const double weight =
-            1.0 / static_cast<double>(node_ + 1);
-        return Comparison(a, b, weight);
       }
     }
     ++node_;
-    x_ = 0;
-    y_ = 1;
+    ResetCursor();
   }
   return std::nullopt;
 }

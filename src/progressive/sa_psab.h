@@ -40,6 +40,11 @@ class SaPsabEmitter : public ProgressiveEmitter {
   const SuffixForest& forest() const { return forest_; }
 
  private:
+  /// Re-points (x_, y_) at the first candidate pair of the current node:
+  /// y_ starts at the node's Clean-Clean split point (cross-source scan)
+  /// or at x_ + 1 for Dirty ER.
+  void ResetCursor();
+
   const ProfileStore& store_;
   SuffixForest forest_;
   std::size_t node_ = 0;  // current forest node

@@ -1,0 +1,313 @@
+// Equivalence suite for the CSR block layout: every observable output of
+// the blocking / meta-blocking / progressive stack must be identical to
+// the seed's per-block-vector layout. The seed behavior is encoded here as
+// straight-line reference implementations (legacy vector-of-vectors
+// storage, full member scans with a per-element IsComparable branch) and
+// compared against the CSR-backed library paths — byte-identical keys and
+// members, bitwise-identical edge weights for all five weighting schemes,
+// and identical PPS/PBS emission prefixes — for Dirty and Clean-Clean ER
+// at 1/2/4/8 threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "blocking/profile_index.h"
+#include "blocking/token_blocking.h"
+#include "core/tokenizer.h"
+#include "datagen/datagen.h"
+#include "metablocking/blocking_graph.h"
+#include "metablocking/edge_weighting.h"
+#include "progressive/batch.h"
+#include "progressive/pbs.h"
+#include "progressive/pps.h"
+#include "progressive/workflow.h"
+
+namespace sper {
+namespace {
+
+ProfileStore DirtyStore() {
+  Result<DatasetBundle> ds = GenerateDataset("restaurant", {});
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds.value().store);
+}
+
+ProfileStore CleanCleanStore() {
+  DatagenOptions gen;
+  gen.scale = 0.1;
+  Result<DatasetBundle> ds = GenerateDataset("movies", gen);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds.value().store);
+}
+
+/// The seed's block storage: one heap vector per block.
+struct LegacyBlock {
+  std::string key;
+  std::vector<ProfileId> profiles;
+};
+
+std::vector<LegacyBlock> ToLegacy(const BlockCollection& blocks) {
+  std::vector<LegacyBlock> out(blocks.size());
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    std::span<const ProfileId> members = blocks.members(b);
+    out[b].key = std::string(blocks.key(b));
+    out[b].profiles.assign(members.begin(), members.end());
+  }
+  return out;
+}
+
+// ------------------------------------------------- block build equivalence
+
+/// Seed-style sequential token blocking: ordered postings map, profiles in
+/// id order, zero-cardinality keys dropped.
+std::vector<LegacyBlock> ReferenceTokenBlocking(const ProfileStore& store) {
+  std::map<std::string, std::vector<ProfileId>> postings;
+  TokenizerOptions tokenizer;
+  for (const Profile& p : store.profiles()) {
+    for (const std::string& token : DistinctProfileTokens(p, tokenizer)) {
+      postings[token].push_back(p.id());
+    }
+  }
+  BlockCollection geometry(store.er_type(), store.split_index());
+  std::vector<LegacyBlock> out;
+  for (const auto& [key, ids] : postings) {
+    if (geometry.ComputeCardinality(ids) == 0) continue;
+    out.push_back({key, ids});
+  }
+  return out;
+}
+
+class CsrEquivalenceTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CsrEquivalenceTest, TokenBlockingMatchesReferenceByteForByte) {
+  const ProfileStore store = GetParam() ? CleanCleanStore() : DirtyStore();
+  const BlockCollection blocks = TokenBlocking(store);
+  const std::vector<LegacyBlock> reference = ReferenceTokenBlocking(store);
+
+  ASSERT_EQ(blocks.size(), reference.size());
+  for (BlockId b = 0; b < blocks.size(); ++b) {
+    ASSERT_EQ(blocks.key(b), reference[b].key);
+    std::span<const ProfileId> members = blocks.members(b);
+    ASSERT_TRUE(std::equal(members.begin(), members.end(),
+                           reference[b].profiles.begin(),
+                           reference[b].profiles.end()))
+        << "block " << b << " (" << reference[b].key << ")";
+    // The split point partitions exactly at the store's source boundary.
+    for (ProfileId p : blocks.source1(b)) EXPECT_TRUE(store.InSource1(p));
+    for (ProfileId p : blocks.source2(b)) EXPECT_FALSE(store.InSource1(p));
+    EXPECT_EQ(blocks.source1(b).size() + blocks.source2(b).size(),
+              blocks.block_size(b));
+  }
+}
+
+// ----------------------------------------------- edge-weight equivalence
+
+/// Seed-style neighborhood gather for one profile: full member scan with
+/// the per-element comparability branch.
+template <typename Fn>
+void ReferenceGather(ProfileId i, const std::vector<LegacyBlock>& blocks,
+                     const ProfileIndex& index, const ProfileStore& store,
+                     const EdgeWeighter& weighter, Fn&& fn) {
+  std::vector<double> weights(store.size(), 0.0);
+  std::vector<ProfileId> touched;
+  for (BlockId b : index.BlocksOf(i)) {
+    const double share = weighter.BlockContribution(b);
+    for (ProfileId j : blocks[b].profiles) {
+      if (j == i || !store.IsComparable(i, j)) continue;
+      if (weights[j] == 0.0) touched.push_back(j);
+      weights[j] += share;
+    }
+  }
+  for (ProfileId j : touched) fn(j, weights[j]);
+}
+
+TEST_P(CsrEquivalenceTest, BlockingGraphMatchesReferenceForAllSchemes) {
+  const ProfileStore store = GetParam() ? CleanCleanStore() : DirtyStore();
+  const BlockCollection blocks = BuildTokenWorkflowBlocks(store, {});
+  const ProfileIndex index(blocks, store.size());
+  const std::vector<LegacyBlock> legacy = ToLegacy(blocks);
+
+  for (WeightingScheme scheme :
+       {WeightingScheme::kArcs, WeightingScheme::kCbs, WeightingScheme::kJs,
+        WeightingScheme::kEcbs, WeightingScheme::kEjs}) {
+    const EdgeWeighter weighter(blocks, index, store, scheme);
+    // Reference edges from the seed-style gather (smaller endpoint only).
+    std::vector<Comparison> expected;
+    for (ProfileId i = 0; i < store.size(); ++i) {
+      ReferenceGather(i, legacy, index, store, weighter,
+                      [&](ProfileId j, double accumulated) {
+                        if (i < j) {
+                          expected.emplace_back(
+                              i, j, weighter.Finalize(i, j, accumulated));
+                        }
+                      });
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const Comparison& a, const Comparison& b) {
+                if (a.i != b.i) return a.i < b.i;
+                return a.j < b.j;
+              });
+
+    for (std::size_t num_threads : {1u, 2u, 4u, 8u}) {
+      const BlockingGraph graph =
+          BlockingGraph::Build(blocks, index, store, scheme, num_threads);
+      ASSERT_EQ(graph.num_edges(), expected.size())
+          << ToString(scheme) << " @ " << num_threads << " threads";
+      for (std::size_t e = 0; e < expected.size(); ++e) {
+        ASSERT_EQ(graph.edges()[e].i, expected[e].i);
+        ASSERT_EQ(graph.edges()[e].j, expected[e].j);
+        // Same contributions added in the same order: bitwise equal.
+        ASSERT_EQ(graph.edges()[e].weight, expected[e].weight)
+            << ToString(scheme) << " edge " << e;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ PPS / PBS equivalence
+
+TEST_P(CsrEquivalenceTest, PpsInitMatchesReferenceBitwise) {
+  const ProfileStore store = GetParam() ? CleanCleanStore() : DirtyStore();
+  BlockCollection blocks = BuildTokenWorkflowBlocks(store, {});
+  const ProfileIndex index(blocks, store.size());
+  const std::vector<LegacyBlock> legacy = ToLegacy(blocks);
+  const EdgeWeighter weighter(blocks, index, store,
+                              WeightingScheme::kArcs);
+
+  // Seed Algorithm 5: duplication likelihood = mean incident edge weight,
+  // computed with the legacy full-scan gather.
+  std::vector<std::pair<ProfileId, double>> expected;
+  for (ProfileId i = 0; i < store.size(); ++i) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    ReferenceGather(i, legacy, index, store, weighter,
+                    [&](ProfileId j, double accumulated) {
+                      sum += weighter.Finalize(i, j, accumulated);
+                      ++count;
+                    });
+    if (count > 0) {
+      expected.emplace_back(i, sum / static_cast<double>(count));
+    }
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+
+  for (std::size_t num_threads : {1u, 2u, 4u, 8u}) {
+    PpsOptions options;
+    options.num_threads = num_threads;
+    PpsEmitter pps(store, blocks, options);
+    ASSERT_EQ(pps.sorted_profiles().size(), expected.size());
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_EQ(pps.sorted_profiles()[k].first, expected[k].first)
+          << num_threads << " threads, rank " << k;
+      // Identical additions in identical order: bitwise equal.
+      ASSERT_EQ(pps.sorted_profiles()[k].second, expected[k].second);
+    }
+  }
+}
+
+template <typename Emitter>
+std::vector<Comparison> Drain(Emitter& emitter, std::size_t limit) {
+  std::vector<Comparison> out;
+  while (out.size() < limit) {
+    std::optional<Comparison> c = emitter.Next();
+    if (!c.has_value()) break;
+    out.push_back(*c);
+  }
+  return out;
+}
+
+TEST_P(CsrEquivalenceTest, PpsEmissionPrefixIsThreadCountInvariant) {
+  const ProfileStore store = GetParam() ? CleanCleanStore() : DirtyStore();
+  BlockCollection blocks = BuildTokenWorkflowBlocks(store, {});
+
+  PpsOptions reference_options;
+  reference_options.num_threads = 1;
+  PpsEmitter reference(store, blocks, reference_options);
+  const std::vector<Comparison> expected = Drain(reference, 500);
+  EXPECT_FALSE(expected.empty());
+
+  for (std::size_t num_threads : {2u, 4u, 8u}) {
+    PpsOptions options;
+    options.num_threads = num_threads;
+    PpsEmitter pps(store, blocks, options);
+    const std::vector<Comparison> got = Drain(pps, 500);
+    ASSERT_EQ(got.size(), expected.size()) << num_threads << " threads";
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_TRUE(got[k].SamePair(expected[k]))
+          << num_threads << " threads, emission " << k;
+      ASSERT_EQ(got[k].weight, expected[k].weight);
+    }
+  }
+}
+
+TEST_P(CsrEquivalenceTest, PbsEmissionPrefixIsThreadCountInvariant) {
+  const ProfileStore store = GetParam() ? CleanCleanStore() : DirtyStore();
+  const BlockCollection blocks = BuildTokenWorkflowBlocks(store, {});
+
+  PbsOptions reference_options;
+  reference_options.num_threads = 1;
+  PbsEmitter reference(store, blocks, reference_options);
+  const std::vector<Comparison> expected = Drain(reference, 500);
+  EXPECT_FALSE(expected.empty());
+
+  // LeCoBI guarantee: no emitted pair repeats.
+  std::unordered_set<std::uint64_t> seen;
+  for (const Comparison& c : expected) {
+    EXPECT_TRUE(store.IsComparable(c.i, c.j));
+    EXPECT_TRUE(seen.insert(PairKey(c.i, c.j)).second);
+  }
+
+  for (std::size_t num_threads : {2u, 4u, 8u}) {
+    PbsOptions options;
+    options.num_threads = num_threads;
+    PbsEmitter pbs(store, blocks, options);
+    const std::vector<Comparison> got = Drain(pbs, 500);
+    ASSERT_EQ(got.size(), expected.size()) << num_threads << " threads";
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_TRUE(got[k].SamePair(expected[k]))
+          << num_threads << " threads, emission " << k;
+      ASSERT_EQ(got[k].weight, expected[k].weight);
+    }
+  }
+}
+
+TEST_P(CsrEquivalenceTest, ForEachComparisonMatchesScanAndTest) {
+  const ProfileStore store = GetParam() ? CleanCleanStore() : DirtyStore();
+  const BlockCollection blocks = TokenBlocking(store);
+  for (BlockId b = 0; b < std::min<std::size_t>(blocks.size(), 200); ++b) {
+    // Seed semantics: all sorted pairs, filtered by IsComparable.
+    std::span<const ProfileId> ps = blocks.members(b);
+    std::vector<std::pair<ProfileId, ProfileId>> expected;
+    for (std::size_t x = 0; x < ps.size(); ++x) {
+      for (std::size_t y = x + 1; y < ps.size(); ++y) {
+        if (store.IsComparable(ps[x], ps[y])) {
+          expected.emplace_back(ps[x], ps[y]);
+        }
+      }
+    }
+    std::vector<std::pair<ProfileId, ProfileId>> got;
+    blocks.ForEachComparison(b, [&](ProfileId i, ProfileId j) {
+      got.emplace_back(i, j);
+    });
+    ASSERT_EQ(got, expected) << "block " << b;
+    ASSERT_EQ(got.size(), blocks.Cardinality(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DirtyAndCleanClean, CsrEquivalenceTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "CleanClean" : "Dirty";
+                         });
+
+}  // namespace
+}  // namespace sper

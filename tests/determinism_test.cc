@@ -161,8 +161,11 @@ TEST(DeterminismTest, WorkflowBlocksAreThreadCountInvariant) {
     EXPECT_EQ(blocks.AggregateCardinality(),
               reference.AggregateCardinality());
     for (BlockId b = 0; b < blocks.size(); ++b) {
-      ASSERT_EQ(blocks.block(b).key, reference.block(b).key);
-      ASSERT_EQ(blocks.block(b).profiles, reference.block(b).profiles);
+      ASSERT_EQ(blocks.key(b), reference.key(b));
+      std::span<const ProfileId> members = blocks.members(b);
+      std::span<const ProfileId> expected = reference.members(b);
+      ASSERT_TRUE(std::equal(members.begin(), members.end(),
+                             expected.begin(), expected.end()));
     }
   }
 }

@@ -31,9 +31,9 @@ struct Fixture {
   }
   static BlockCollection MakeBlocks() {
     BlockCollection bc(ErType::kDirty, 4);
-    bc.Add(Block{"x", {0, 1}});
-    bc.Add(Block{"y", {0, 1, 2}});
-    bc.Add(Block{"z", {1, 2, 3}});
+    bc.Add("x", {0, 1});
+    bc.Add("y", {0, 1, 2});
+    bc.Add("z", {1, 2, 3});
     return bc;
   }
 

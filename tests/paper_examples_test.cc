@@ -10,6 +10,8 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "blocking/token_blocking.h"
@@ -70,7 +72,11 @@ std::vector<Pair> Drain(ProgressiveEmitter& emitter, std::size_t limit) {
 TEST(PaperFig3Test, TokenBlockingProducesTheSixBlocks) {
   BlockCollection blocks = TokenBlocking(Fig3aStore());
   std::map<std::string, std::vector<ProfileId>> map;
-  for (const Block& b : blocks.blocks()) map[b.key] = b.profiles;
+  for (BlockId id = 0; id < blocks.size(); ++id) {
+    std::span<const ProfileId> members = blocks.members(id);
+    map[std::string(blocks.key(id))] =
+        std::vector<ProfileId>(members.begin(), members.end());
+  }
 
   ASSERT_EQ(map.size(), 6u);
   EXPECT_EQ(map["carl"], (std::vector<ProfileId>{0, 1}));
@@ -85,8 +91,8 @@ TEST(PaperFig3Test, BlockSizeAndCardinalityOfTailor) {
   // Sec. 3: |b_tailor| = 4 and ||b_tailor|| = C(4,2) = 6.
   BlockCollection blocks = TokenBlocking(Fig3aStore());
   for (BlockId id = 0; id < blocks.size(); ++id) {
-    if (blocks.block(id).key == "tailor") {
-      EXPECT_EQ(blocks.block(id).size(), 4u);
+    if (blocks.key(id) == "tailor") {
+      EXPECT_EQ(blocks.block_size(id), 4u);
       EXPECT_EQ(blocks.Cardinality(id), 6u);
     }
   }
@@ -275,12 +281,12 @@ TEST(PaperFig7Test, PbsProcessesBlocksByCardinalityAndDeduplicates) {
   // ny(3), tailor(6), white(15).
   const BlockCollection& scheduled = pbs.scheduled_blocks();
   ASSERT_EQ(scheduled.size(), 6u);
-  EXPECT_EQ(scheduled.block(0).key, "carl");
-  EXPECT_EQ(scheduled.block(1).key, "ml");
-  EXPECT_EQ(scheduled.block(2).key, "teacher");
-  EXPECT_EQ(scheduled.block(3).key, "ny");
-  EXPECT_EQ(scheduled.block(4).key, "tailor");
-  EXPECT_EQ(scheduled.block(5).key, "white");
+  EXPECT_EQ(scheduled.key(0), "carl");
+  EXPECT_EQ(scheduled.key(1), "ml");
+  EXPECT_EQ(scheduled.key(2), "teacher");
+  EXPECT_EQ(scheduled.key(3), "ny");
+  EXPECT_EQ(scheduled.key(4), "tailor");
+  EXPECT_EQ(scheduled.key(5), "white");
 
   std::vector<Pair> emissions = Drain(pbs, 100);
   // Example 5: c45 satisfies LeCoBI in b_ml (emitted) and is discarded in

@@ -363,8 +363,8 @@ TEST(WorkflowTest, AppliesPurgingAndFiltering) {
   ProfileStore store = ProfileStore::MakeDirty(std::move(ps));
   TokenWorkflowOptions options;  // purge > 10% of 20 -> "stopword" dies
   BlockCollection blocks = BuildTokenWorkflowBlocks(store, options);
-  for (const Block& b : blocks.blocks()) {
-    EXPECT_NE(b.key, "stopword");
+  for (BlockId id = 0; id < blocks.size(); ++id) {
+    EXPECT_NE(blocks.key(id), "stopword");
   }
   EXPECT_EQ(blocks.size(), 10u);  // k0..k9 pair blocks survive
 }
@@ -380,8 +380,8 @@ TEST(WorkflowTest, StepsCanBeDisabled) {
   options.enable_filtering = false;
   BlockCollection blocks = BuildTokenWorkflowBlocks(store, options);
   bool has_stopword = false;
-  for (const Block& b : blocks.blocks()) {
-    if (b.key == "stopword") has_stopword = true;
+  for (BlockId id = 0; id < blocks.size(); ++id) {
+    if (blocks.key(id) == "stopword") has_stopword = true;
   }
   EXPECT_TRUE(has_stopword);
 }

@@ -195,14 +195,15 @@ TEST_P(SeededTest, FilteringNeverIncreasesCardinality) {
   EXPECT_LE(filtered.AggregateCardinality(), blocks.AggregateCardinality());
   // Filtering keeps each profile's smallest blocks, so every surviving
   // block is a subset of the original with the same key.
-  for (const Block& b : filtered.blocks()) {
+  for (BlockId f = 0; f < filtered.size(); ++f) {
     bool found = false;
-    for (const Block& original : blocks.blocks()) {
-      if (original.key != b.key) continue;
+    for (BlockId o = 0; o < blocks.size(); ++o) {
+      if (blocks.key(o) != filtered.key(f)) continue;
       found = true;
-      EXPECT_TRUE(std::includes(original.profiles.begin(),
-                                original.profiles.end(),
-                                b.profiles.begin(), b.profiles.end()));
+      std::span<const ProfileId> original = blocks.members(o);
+      std::span<const ProfileId> subset = filtered.members(f);
+      EXPECT_TRUE(std::includes(original.begin(), original.end(),
+                                subset.begin(), subset.end()));
     }
     EXPECT_TRUE(found);
   }
