@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "datagen/datagen.h"
@@ -54,7 +55,46 @@ struct JsonRecord {
   /// Speedup relative to the record's documented baseline (1.0 for the
   /// baseline rows themselves).
   double speedup = 1.0;
+  /// Hash shards of a ShardedEngine run; 1 for unsharded paths.
+  std::size_t shards = 1;
 };
+
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes and control characters (dataset or path names must never
+/// be printf'd raw into the `"..."` fields).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 /// Writes the records as a JSON array of flat objects, one per line.
 /// Returns false (and prints to stderr) when the file cannot be opened.
@@ -70,9 +110,11 @@ inline bool WriteJsonRecords(const std::string& file,
     const JsonRecord& r = records[i];
     std::fprintf(out,
                  "  {\"dataset\": \"%s\", \"scale\": %g, \"threads\": %zu, "
-                 "\"path\": \"%s\", \"wall_ms\": %.3f, \"speedup\": %.3f}%s\n",
-                 r.dataset.c_str(), r.scale, r.threads, r.path.c_str(),
-                 r.wall_ms, r.speedup, i + 1 < records.size() ? "," : "");
+                 "\"shards\": %zu, \"path\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"speedup\": %.3f}%s\n",
+                 JsonEscape(r.dataset).c_str(), r.scale, r.threads, r.shards,
+                 JsonEscape(r.path).c_str(), r.wall_ms, r.speedup,
+                 i + 1 < records.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);

@@ -1,0 +1,53 @@
+#include "core/store_partition.h"
+
+#include <utility>
+
+namespace sper {
+
+std::vector<StoreShard> PartitionStore(const ProfileStore& store,
+                                       std::size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+
+  // Collect the shard-local profile subsets in ascending global-id order,
+  // source 1 before source 2, so local ids preserve both the relative
+  // order and the source boundary of the parent store.
+  std::vector<std::vector<Profile>> source1(num_shards);
+  std::vector<std::vector<Profile>> source2(num_shards);
+  std::vector<std::vector<ProfileId>> to_global(num_shards);
+  for (const Profile& p : store.profiles()) {
+    const std::size_t s = ShardOf(p.id(), num_shards);
+    Profile copy(p.attributes());
+    if (store.InSource1(p.id())) {
+      source1[s].push_back(std::move(copy));
+    } else {
+      source2[s].push_back(std::move(copy));
+    }
+  }
+  // Source-1 members come first in every shard store, and both loops visit
+  // ids ascending, so appending source-1 ids then source-2 ids yields
+  // to_global[local] for the dense local ids the shard store will assign.
+  for (const Profile& p : store.profiles()) {
+    if (store.InSource1(p.id())) {
+      to_global[ShardOf(p.id(), num_shards)].push_back(p.id());
+    }
+  }
+  for (const Profile& p : store.profiles()) {
+    if (!store.InSource1(p.id())) {
+      to_global[ShardOf(p.id(), num_shards)].push_back(p.id());
+    }
+  }
+
+  std::vector<StoreShard> shards;
+  shards.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    ProfileStore local =
+        store.er_type() == ErType::kCleanClean
+            ? ProfileStore::MakeCleanClean(std::move(source1[s]),
+                                           std::move(source2[s]))
+            : ProfileStore::MakeDirty(std::move(source1[s]));
+    shards.push_back({std::move(local), std::move(to_global[s])});
+  }
+  return shards;
+}
+
+}  // namespace sper

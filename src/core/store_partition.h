@@ -1,0 +1,57 @@
+#ifndef SPER_CORE_STORE_PARTITION_H_
+#define SPER_CORE_STORE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profile_store.h"
+#include "core/types.h"
+
+/// \file store_partition.h
+/// Hash-partitioning of a ProfileStore into shard-local stores — the data
+/// layer of sharded serving (ROADMAP "Sharded serving"). Each shard is a
+/// self-contained ProfileStore with dense *local* ids plus the translation
+/// table back to the original ids, so one ProgressiveEngine can run per
+/// shard and its emissions can be expressed in global ids again.
+
+namespace sper {
+
+/// Platform-stable 64-bit mix (splitmix64 finalizer). Used instead of
+/// std::hash so shard assignment is identical on every standard library.
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The shard a profile id belongs to under hash partitioning.
+inline std::size_t ShardOf(ProfileId id, std::size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<std::size_t>(SplitMix64(id) % num_shards);
+}
+
+/// One shard of a partitioned store: a shard-local ProfileStore (dense
+/// local ids, same ErType as the parent) plus the local->global id map.
+struct StoreShard {
+  ProfileStore store;
+  /// to_global[local_id] == original id in the parent store. Ascending
+  /// within each source range, so local i < j implies global i < j for
+  /// every comparable pair.
+  std::vector<ProfileId> to_global;
+};
+
+/// Hash-partitions `store` into `num_shards` shard-local stores.
+///
+/// Profiles are assigned by ShardOf(global id) and kept in ascending
+/// global-id order inside each shard. Clean-Clean source boundaries are
+/// preserved: a shard's store is built from the shard's source-1 and
+/// source-2 subsets, so its split_index and IsComparable semantics match
+/// the parent's. Shards may be empty. For num_shards == 1 the single
+/// shard is an exact copy of `store` with the identity id map.
+std::vector<StoreShard> PartitionStore(const ProfileStore& store,
+                                       std::size_t num_shards);
+
+}  // namespace sper
+
+#endif  // SPER_CORE_STORE_PARTITION_H_

@@ -1,6 +1,8 @@
 #include "engine/progressive_engine.h"
 
+#include <cctype>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "core/macros.h"
@@ -31,10 +33,23 @@ std::string_view ToString(MethodId id) {
 }
 
 std::optional<MethodId> ParseMethodId(std::string_view name) {
+  // Case-insensitive, and '_' is accepted for '-' so shell-friendly
+  // spellings like "pps" or "sa_psn" parse.
+  const auto canonical = [](std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '_') c = '-';
+      out.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+    return out;
+  };
+  const std::string wanted = canonical(name);
   for (MethodId id :
        {MethodId::kPsn, MethodId::kSaPsn, MethodId::kSaPsab,
         MethodId::kLsPsn, MethodId::kGsPsn, MethodId::kPbs, MethodId::kPps}) {
-    if (name == ToString(id)) return id;
+    if (wanted == ToString(id)) return id;
   }
   return std::nullopt;
 }

@@ -1,0 +1,104 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "parallel/thread_pool.h"
+
+namespace sper {
+
+namespace {
+
+/// A shard can yield comparisons only with two distinct profiles (Dirty)
+/// or at least one profile on each side (Clean-Clean). Engines are not
+/// constructed for barren shards.
+bool ShardHasCandidates(const ProfileStore& store) {
+  if (store.er_type() == ErType::kCleanClean) {
+    return store.source1_size() > 0 && store.source2_size() > 0;
+  }
+  return store.size() >= 2;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const ProfileStore& store,
+                             ShardedEngineOptions options)
+    : options_(std::move(options)) {
+  const auto start = std::chrono::steady_clock::now();
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.engine.num_threads == 0) options_.engine.num_threads = 1;
+
+  shards_ = PartitionStore(store, options_.num_shards);
+  engines_.resize(shards_.size());
+  stats_.shard_sizes.reserve(shards_.size());
+  for (const StoreShard& shard : shards_) {
+    stats_.shard_sizes.push_back(shard.store.size());
+  }
+
+  // Per-shard engine options: inner engines run unbudgeted (the global
+  // budget caps the merged stream) and split the total thread budget
+  // across the shard constructions running concurrently.
+  const std::size_t concurrency =
+      std::max<std::size_t>(
+          1, std::min(shards_.size(), options_.engine.num_threads));
+  EngineOptions inner = options_.engine;
+  inner.budget = 0;
+  inner.num_threads =
+      std::max<std::size_t>(1, options_.engine.num_threads / concurrency);
+
+  if (concurrency <= 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!ShardHasCandidates(shards_[s].store)) continue;
+      engines_[s] =
+          std::make_unique<ProgressiveEngine>(shards_[s].store, inner);
+    }
+  } else {
+    ThreadPool pool(concurrency);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!ShardHasCandidates(shards_[s].store)) continue;
+      pool.Submit([this, s, &inner] {
+        engines_[s] =
+            std::make_unique<ProgressiveEngine>(shards_[s].store, inner);
+      });
+    }
+    pool.Wait();
+  }
+
+  // Register the per-shard streams in shard order: the merge breaks exact
+  // ties by stream index, so shard order is part of the deterministic
+  // contract. Each stream translates shard-local ids to original ids;
+  // local order preserves global order within each source, so the
+  // canonical (i < j) form survives translation.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (engines_[s] == nullptr) continue;
+    stats_.num_blocks += engines_[s]->init_stats().num_blocks;
+    stats_.aggregate_cardinality +=
+        engines_[s]->init_stats().aggregate_cardinality;
+    ProgressiveEngine* engine = engines_[s].get();
+    const std::vector<ProfileId>* to_global = &shards_[s].to_global;
+    merge_.AddStream([engine, to_global]() -> std::optional<Comparison> {
+      std::optional<Comparison> local = engine->Next();
+      if (!local.has_value()) return std::nullopt;
+      return Comparison((*to_global)[local->i], (*to_global)[local->j],
+                        local->weight);
+    });
+  }
+
+  stats_.init_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+std::optional<Comparison> ShardedEngine::Next() {
+  if (BudgetExhausted()) return std::nullopt;
+  std::optional<Comparison> next = merge_.Next();
+  if (next.has_value()) ++emitted_;
+  return next;
+}
+
+std::string_view ShardedEngine::name() const {
+  return ToString(options_.engine.method);
+}
+
+}  // namespace sper

@@ -1,0 +1,101 @@
+#ifndef SPER_ENGINE_SHARDED_ENGINE_H_
+#define SPER_ENGINE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/comparison.h"
+#include "core/profile_store.h"
+#include "core/store_partition.h"
+#include "engine/progressive_engine.h"
+#include "parallel/ordered_merge.h"
+#include "progressive/emitter.h"
+
+/// \file sharded_engine.h
+/// Sharded serving (ROADMAP "Sharded serving"): hash-partition the
+/// ProfileStore into S shard-local stores, run one ProgressiveEngine per
+/// shard, and merge the per-shard ranked streams into one global emission
+/// order. Initialization — the expensive blocking / meta-blocking phase —
+/// runs per shard, with the shard constructions themselves fanned out on
+/// the ThreadPool; emission stays a sequential pull-based stream in
+/// *original* profile ids.
+///
+/// Determinism contract: the merged stream depends only on (store,
+/// options.num_shards, engine options) — never on thread count or timing.
+/// For num_shards == 1 it is bit-identical to a plain ProgressiveEngine
+/// with the same engine options. Note that for S > 1 the stream is a
+/// different (still deterministic) order than unsharded: each shard ranks
+/// comparisons against its own sub-collection, and only intra-shard pairs
+/// are candidates — the standard recall trade-off of hash sharding.
+
+namespace sper {
+
+/// Configuration of a sharded run.
+struct ShardedEngineOptions {
+  /// Number of hash shards; 0 and 1 both mean "one shard".
+  std::size_t num_shards = 1;
+  /// Per-shard engine configuration. `engine.budget` is interpreted as
+  /// the *global* pay-as-you-go budget across all shards (inner engines
+  /// run unbudgeted; the merged stream is capped). `engine.num_threads`
+  /// is the total thread budget: shard initializations run concurrently
+  /// and split it evenly.
+  EngineOptions engine;
+};
+
+/// Aggregate initialization facts across all shards.
+struct ShardedInitStats {
+  /// Wall-clock seconds of the whole sharded initialization.
+  double init_seconds = 0.0;
+  /// Sum of per-shard workflow block counts.
+  std::size_t num_blocks = 0;
+  /// Sum of per-shard aggregate cardinalities.
+  std::uint64_t aggregate_cardinality = 0;
+  /// Profiles per shard, shard order.
+  std::vector<std::size_t> shard_sizes;
+};
+
+/// One ProgressiveEngine per hash shard behind a deterministic k-way
+/// merged stream, expressed in the original store's profile ids.
+class ShardedEngine : public ProgressiveEmitter {
+ public:
+  /// Partitions the store, then constructs the per-shard engines
+  /// concurrently on a ThreadPool. The store must outlive the engine
+  /// only for construction; shards own copies of their profiles.
+  ShardedEngine(const ProfileStore& store, ShardedEngineOptions options);
+
+  /// The globally next best comparison (original ids), honoring the
+  /// global budget.
+  std::optional<Comparison> Next() override;
+
+  /// The underlying method's acronym, e.g. "PPS".
+  std::string_view name() const override;
+
+  /// Number of shards (== options.num_shards, at least 1).
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Comparisons emitted so far across all shards.
+  std::uint64_t emitted() const { return emitted_; }
+
+  /// True once the global budget has been spent (never for budget 0).
+  bool BudgetExhausted() const {
+    return options_.engine.budget != 0 && emitted_ >= options_.engine.budget;
+  }
+
+  /// Aggregate initialization diagnostics.
+  const ShardedInitStats& init_stats() const { return stats_; }
+
+ private:
+  ShardedEngineOptions options_;
+  ShardedInitStats stats_;
+  std::vector<StoreShard> shards_;
+  std::vector<std::unique_ptr<ProgressiveEngine>> engines_;
+  KWayMerge<Comparison, ByWeightDesc> merge_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace sper
+
+#endif  // SPER_ENGINE_SHARDED_ENGINE_H_

@@ -1,6 +1,7 @@
 #include "eval/experiment.h"
 
 #include "engine/progressive_engine.h"
+#include "engine/sharded_engine.h"
 
 namespace sper {
 
@@ -18,6 +19,13 @@ std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
   options.suffix = config.suffix;
   options.list = config.list;
   options.schema_key = dataset.psn_key;
+  if (config.num_shards > 1) {
+    ShardedEngineOptions sharded;
+    sharded.num_shards = config.num_shards;
+    sharded.engine = std::move(options);
+    return std::make_unique<ShardedEngine>(dataset.store,
+                                           std::move(sharded));
+  }
   return std::make_unique<ProgressiveEngine>(dataset.store,
                                              std::move(options));
 }

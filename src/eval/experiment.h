@@ -39,6 +39,9 @@ struct MethodConfig {
   /// Threads for the initialization phase (1 = sequential; emitted
   /// sequences are identical at every thread count).
   std::size_t num_threads = 1;
+  /// Hash shards for sharded serving (>1 routes through ShardedEngine:
+  /// one engine per shard, globally merged emission in original ids).
+  std::size_t num_shards = 1;
 };
 
 /// Builds the requested emitter on the dataset via the ProgressiveEngine

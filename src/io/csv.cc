@@ -56,4 +56,50 @@ std::vector<std::string> CsvSplit(std::string_view line) {
   return fields;
 }
 
+bool CsvReadRecord(std::istream& in, std::string* record) {
+  record->clear();
+  std::string line;
+  // Quote state mirrors CsvSplit: a quote opens a quoted section only at
+  // the start of a field (field_empty), doubled quotes inside a section
+  // are literal, and any appended character makes the field non-empty.
+  bool in_quotes = false;
+  bool field_empty = true;
+  bool first = true;
+  while (std::getline(in, line)) {
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            ++i;
+            field_empty = false;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          field_empty = false;
+        }
+      } else if (c == '"' && field_empty) {
+        in_quotes = true;
+      } else if (c == ',') {
+        field_empty = true;
+      } else {
+        field_empty = false;
+      }
+    }
+    if (!first) record->push_back('\n');
+    first = false;
+    if (!in_quotes) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      record->append(line);
+      return true;
+    }
+    // The record continues on the next physical line; the newline joined
+    // above belongs to the open quoted field.
+    record->append(line);
+    field_empty = false;
+  }
+  return !first;
+}
+
 }  // namespace sper

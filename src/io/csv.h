@@ -1,6 +1,7 @@
 #ifndef SPER_IO_CSV_H_
 #define SPER_IO_CSV_H_
 
+#include <istream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,15 @@ std::string CsvJoin(const std::vector<std::string>& fields);
 /// Splits one CSV line into fields, honoring quoting. Malformed trailing
 /// quotes are tolerated (the remainder is taken literally).
 std::vector<std::string> CsvSplit(std::string_view line);
+
+/// Reads one *logical* CSV record from the stream into `record`: physical
+/// lines are accumulated (rejoined with '\n') while a quoted field is
+/// still open, so fields containing embedded newlines — which CsvEscape
+/// quotes on output — round-trip. A trailing '\r' outside quotes (CRLF
+/// input) is stripped; an unterminated quote at EOF is tolerated (the
+/// remainder is taken literally, matching CsvSplit). Returns false only
+/// at end of stream with nothing read. Pass the result to CsvSplit.
+bool CsvReadRecord(std::istream& in, std::string* record);
 
 }  // namespace sper
 

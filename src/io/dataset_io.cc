@@ -30,19 +30,21 @@ Result<ProfileStore> ReadProfilesCsv(const std::string& path,
 
   std::vector<Profile> source1;
   std::vector<Profile> source2;
-  std::string line;
+  std::string record;
   bool header = true;
   std::uint64_t last_profile = UINT64_MAX;
   std::vector<Profile>* current = nullptr;
-  while (std::getline(in, line)) {
+  // Record-aware reading: a record may span physical lines when a quoted
+  // attribute value contains newlines (CsvEscape quotes them on write).
+  while (CsvReadRecord(in, &record)) {
     if (header) {
       header = false;
       continue;
     }
-    if (line.empty()) continue;
-    std::vector<std::string> fields = CsvSplit(line);
+    if (record.empty()) continue;
+    std::vector<std::string> fields = CsvSplit(record);
     if (fields.size() != 4) {
-      return Status::IoError("malformed profile row: " + line);
+      return Status::IoError("malformed profile row: " + record);
     }
     const std::uint64_t id = std::stoull(fields[0]);
     const bool in_source1 = fields[1] == "1";
@@ -78,17 +80,17 @@ Result<GroundTruth> ReadGroundTruthCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   GroundTruth truth;
-  std::string line;
+  std::string record;
   bool header = true;
-  while (std::getline(in, line)) {
+  while (CsvReadRecord(in, &record)) {
     if (header) {
       header = false;
       continue;
     }
-    if (line.empty()) continue;
-    std::vector<std::string> fields = CsvSplit(line);
+    if (record.empty()) continue;
+    std::vector<std::string> fields = CsvSplit(record);
     if (fields.size() != 2) {
-      return Status::IoError("malformed ground-truth row: " + line);
+      return Status::IoError("malformed ground-truth row: " + record);
     }
     truth.AddMatch(static_cast<ProfileId>(std::stoul(fields[0])),
                    static_cast<ProfileId>(std::stoul(fields[1])));

@@ -1,0 +1,100 @@
+#ifndef SPER_PARALLEL_ORDERED_MERGE_H_
+#define SPER_PARALLEL_ORDERED_MERGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+/// \file ordered_merge.h
+/// Deterministic k-way merge of pull-based streams — the streaming
+/// counterpart of AccumulateOrdered (parallel_for.h). Where
+/// AccumulateOrdered concatenates finished per-chunk vectors in chunk
+/// order, KWayMerge interleaves *live* streams: at every step it emits the
+/// best current head under a strict weak order, breaking exact ties by
+/// stream index. The output therefore depends only on the stream contents
+/// and the comparator — never on timing — which is what sharded serving's
+/// global emission order rests on.
+
+namespace sper {
+
+/// Greedy best-head merge of K pull-based streams.
+///
+/// Each stream is a callable `std::optional<T>()` (the ProgressiveEmitter
+/// Next() shape). Streams need not be globally sorted: the merge emits, at
+/// each step, the best head among the K current heads under `Compare`
+/// (strict "a before b"). For streams that *are* sorted this is the
+/// classic k-way ordered merge. Ties between heads go to the
+/// lowest-indexed stream, so the merge is deterministic for any inputs.
+///
+/// Heads are pulled lazily: no stream is touched before the first Next().
+template <typename T, typename Compare = std::less<T>>
+class KWayMerge {
+ public:
+  using Stream = std::function<std::optional<T>()>;
+
+  explicit KWayMerge(Compare compare = Compare())
+      : compare_(std::move(compare)) {}
+
+  /// Registers one more stream. Must not be called after Next().
+  void AddStream(Stream stream) { streams_.push_back(std::move(stream)); }
+
+  /// Number of registered streams.
+  std::size_t num_streams() const { return streams_.size(); }
+
+  /// The best head among all streams, or nullopt once every stream is
+  /// exhausted. Consuming a head refills it from its own stream only.
+  /// O(log K) per call: heads live in a binary heap keyed on (Compare,
+  /// stream index) — a total order, since indices are unique, so the pop
+  /// sequence is deterministic whatever the heap's internal layout.
+  std::optional<T> Next() {
+    if (!primed_) {
+      heap_.reserve(streams_.size());
+      for (std::size_t k = 0; k < streams_.size(); ++k) {
+        std::optional<T> head = streams_[k]();
+        if (head.has_value()) heap_.push_back({std::move(*head), k});
+      }
+      std::make_heap(heap_.begin(), heap_.end(), HeapLess{compare_});
+      primed_ = true;
+    }
+    if (heap_.empty()) return std::nullopt;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLess{compare_});
+    Entry best = std::move(heap_.back());
+    heap_.pop_back();
+    std::optional<T> refill = streams_[best.stream]();
+    if (refill.has_value()) {
+      heap_.push_back({std::move(*refill), best.stream});
+      std::push_heap(heap_.begin(), heap_.end(), HeapLess{compare_});
+    }
+    return std::move(best.value);
+  }
+
+ private:
+  struct Entry {
+    T value;
+    std::size_t stream;
+  };
+
+  /// std::*_heap is a max-heap: "a < b" must mean "b pops first". b pops
+  /// first when it compares before a, or ties with a but has the lower
+  /// stream index.
+  struct HeapLess {
+    const Compare& compare;
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (compare(b.value, a.value)) return true;
+      if (compare(a.value, b.value)) return false;
+      return b.stream < a.stream;
+    }
+  };
+
+  Compare compare_;
+  std::vector<Stream> streams_;
+  std::vector<Entry> heap_;
+  bool primed_ = false;
+};
+
+}  // namespace sper
+
+#endif  // SPER_PARALLEL_ORDERED_MERGE_H_

@@ -134,5 +134,16 @@ TEST(MethodIdTest, ParseRoundTripsEveryAcronym) {
   EXPECT_FALSE(ParseMethodId("NOPE").has_value());
 }
 
+TEST(MethodIdTest, ParseIsCaseInsensitiveAndAcceptsUnderscores) {
+  EXPECT_EQ(ParseMethodId("pps"), MethodId::kPps);
+  EXPECT_EQ(ParseMethodId("Pbs"), MethodId::kPbs);
+  EXPECT_EQ(ParseMethodId("sa_psn"), MethodId::kSaPsn);
+  EXPECT_EQ(ParseMethodId("SA_PSAB"), MethodId::kSaPsab);
+  EXPECT_EQ(ParseMethodId("gs-psn"), MethodId::kGsPsn);
+  EXPECT_EQ(ParseMethodId("ls_PSN"), MethodId::kLsPsn);
+  EXPECT_FALSE(ParseMethodId("pp s").has_value());
+  EXPECT_FALSE(ParseMethodId("").has_value());
+}
+
 }  // namespace
 }  // namespace sper

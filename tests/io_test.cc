@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "io/csv.h"
 #include "io/dataset_io.h"
@@ -36,6 +38,75 @@ TEST(CsvTest, SplitHandlesEmptyFields) {
 TEST(CsvTest, SplitHandlesQuotedComma) {
   EXPECT_EQ(CsvSplit("a,\"b,c\",d"),
             (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+// ------------------------------------------------- record-aware reading
+
+std::vector<std::vector<std::string>> ReadAllRecords(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::vector<std::string>> rows;
+  std::string record;
+  while (CsvReadRecord(in, &record)) rows.push_back(CsvSplit(record));
+  return rows;
+}
+
+TEST(CsvRecordTest, PlainLinesAreOneRecordEach) {
+  const auto rows = ReadAllRecords("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvRecordTest, QuotedNewlineSpansPhysicalLines) {
+  const auto rows = ReadAllRecords("a,\"line1\nline2\",z\nnext,row,!\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "line1\nline2", "z"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"next", "row", "!"}));
+}
+
+TEST(CsvRecordTest, StripsUnquotedTrailingCarriageReturn) {
+  const auto rows = ReadAllRecords("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvRecordTest, UnterminatedQuoteIsToleratedAtEof) {
+  const auto rows = ReadAllRecords("a,\"open\nstill open");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "open\nstill open"}));
+}
+
+// Property: any vector of fields — commas, quotes, CRs, LFs, empty and
+// pathological mixes — survives CsvJoin -> CsvReadRecord -> CsvSplit.
+TEST(CsvRecordTest, RoundTripPropertyOverHostileFields) {
+  const std::vector<std::vector<std::string>> cases = {
+      {"plain", "with,comma", "with \"quote\""},
+      {"embedded\nnewline", "x"},
+      {"embedded\rcarriage", "y"},
+      {"crlf\r\ninside", "z"},
+      {"\n", "\r", "\r\n", ""},
+      {"multi\nline\nvalue", "\"quoted\"\nand broken", ",\",\n\",\""},
+      {"", "", ""},
+      {"trailing newline\n"},
+      {"\nleading newline"},
+      {"quote at end\""},
+      {"\"quote at start"},
+  };
+  for (const std::vector<std::string>& fields : cases) {
+    std::string file;
+    for (int copies = 0; copies < 2; ++copies) {
+      file += CsvJoin(fields);
+      file.push_back('\n');
+    }
+    std::istringstream in(file);
+    std::string record;
+    for (int copies = 0; copies < 2; ++copies) {
+      ASSERT_TRUE(CsvReadRecord(in, &record)) << CsvJoin(fields);
+      EXPECT_EQ(CsvSplit(record), fields) << CsvJoin(fields);
+    }
+    EXPECT_FALSE(CsvReadRecord(in, &record));
+  }
 }
 
 // ------------------------------------------------------------ Dataset IO
@@ -85,6 +156,25 @@ TEST_F(DatasetIoTest, CleanCleanProfilesPreserveSources) {
   EXPECT_EQ(loaded.value().source1_size(), 1u);
   EXPECT_EQ(loaded.value().source2_size(), 2u);
   EXPECT_EQ(loaded.value().profile(1).ValueOf("b"), "y");
+}
+
+TEST_F(DatasetIoTest, ProfilesWithEmbeddedNewlinesRoundTrip) {
+  // The former line-based reader could never read these back: CsvEscape
+  // quotes newline-bearing values, so one record spans physical lines.
+  std::vector<Profile> ps(2);
+  ps[0].AddAttribute("bio", "line one\nline two\r\nline three");
+  ps[0].AddAttribute("note", "plain");
+  ps[1].AddAttribute("bio", "\nstarts and ends with newline\n");
+  ProfileStore store = ProfileStore::MakeDirty(std::move(ps));
+
+  ASSERT_TRUE(WriteProfilesCsv(store, Path("nl.csv")).ok());
+  Result<ProfileStore> loaded = ReadProfilesCsv(Path("nl.csv"), ErType::kDirty);
+  ASSERT_TRUE(loaded.ok());
+  const ProfileStore& got = loaded.value();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got.profile(0).ValueOf("bio"), "line one\nline two\r\nline three");
+  EXPECT_EQ(got.profile(0).ValueOf("note"), "plain");
+  EXPECT_EQ(got.profile(1).ValueOf("bio"), "\nstarts and ends with newline\n");
 }
 
 TEST_F(DatasetIoTest, GroundTruthRoundTrip) {

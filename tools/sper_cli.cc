@@ -8,14 +8,18 @@
 //       PREFIX_profiles.csv / PREFIX_truth.csv.
 //
 //   sper_cli run <dataset> --method=NAME [--seed=N] [--scale=S]
-//                [--ecmax=E] [--threads=N] [--curve=FILE.csv]
+//                [--ecmax=E] [--threads=N] [--shards=N] [--curve=FILE.csv]
 //       Run one progressive method under the paper's evaluation protocol;
 //       print the recall curve and AUC*, optionally dump the curve as CSV.
 //       --threads parallelizes the initialization phase (same output at
-//       every thread count).
+//       every thread count). --shards=N hash-partitions the store and
+//       serves one engine per shard behind a merged emission stream.
+//       Method names are case-insensitive ("pps" == "PPS").
 //
 //   sper_cli inspect <dataset> [--seed=N] [--scale=S] [--threads=N]
-//       Dataset statistics plus Token-Blocking-Workflow block statistics.
+//                    [--shards=N]
+//       Dataset statistics plus Token-Blocking-Workflow block statistics;
+//       --shards adds the per-shard partition breakdown.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +28,7 @@
 #include <map>
 #include <string>
 
+#include "core/store_partition.h"
 #include "datagen/datagen.h"
 #include "eval/evaluator.h"
 #include "eval/experiment.h"
@@ -79,6 +84,13 @@ std::size_t OptThreads(const CliArgs& args) {
   if (!(threads >= 1)) threads = 1;
   if (threads > 256) threads = 256;
   return static_cast<std::size_t>(threads);
+}
+
+std::size_t OptShards(const CliArgs& args) {
+  double shards = OptDouble(args, "shards", 1);
+  if (!(shards >= 1)) shards = 1;
+  if (shards > 1024) shards = 1024;
+  return static_cast<std::size_t>(shards);
 }
 
 DatagenOptions GenOptions(const CliArgs& args) {
@@ -146,7 +158,7 @@ int CmdRun(const CliArgs& args) {
   if (args.positional.size() < 2 || !args.options.count("method")) {
     std::fprintf(stderr, "usage: sper_cli run <dataset> --method=NAME "
                          "[--seed=N] [--scale=S] [--ecmax=E] [--threads=N] "
-                         "[--curve=FILE.csv]\n");
+                         "[--shards=N] [--curve=FILE.csv]\n");
     return 2;
   }
   Result<DatasetBundle> dataset =
@@ -163,6 +175,7 @@ int CmdRun(const CliArgs& args) {
   ProgressiveEvaluator evaluator(dataset.value().truth, options);
   MethodConfig config;
   config.num_threads = OptThreads(args);
+  config.num_shards = OptShards(args);
   std::unique_ptr<ProgressiveEmitter> probe =
       MakeEmitter(method, dataset.value(), config);
   if (probe == nullptr) {
@@ -177,6 +190,10 @@ int CmdRun(const CliArgs& args) {
   RunResult run = evaluator.Run(
       [&] { return MakeEmitter(method, dataset.value(), config); });
 
+  if (config.num_shards > 1) {
+    std::printf("sharded serving: %zu hash shards, merged emission\n",
+                config.num_shards);
+  }
   std::printf("%s on %s: %zu/%zu matches after %llu comparisons "
               "(recall %.3f)\n",
               run.method.c_str(), dataset.value().name.c_str(),
@@ -214,7 +231,7 @@ int CmdRun(const CliArgs& args) {
 int CmdInspect(const CliArgs& args) {
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: sper_cli inspect <dataset> [--seed=N] "
-                         "[--scale=S] [--threads=N]\n");
+                         "[--scale=S] [--threads=N] [--shards=N]\n");
     return 2;
   }
   Result<DatasetBundle> dataset =
@@ -246,6 +263,27 @@ int CmdInspect(const CliArgs& args) {
   std::printf("  after workflow: %zu (||B|| = %llu)\n", workflow.size(),
               static_cast<unsigned long long>(
                   workflow.AggregateCardinality()));
+
+  const std::size_t num_shards = OptShards(args);
+  if (num_shards > 1) {
+    std::printf("\nhash partition into %zu shards:\n", num_shards);
+    std::vector<StoreShard> shards = PartitionStore(ds.store, num_shards);
+    TextTable table({"shard", "profiles", "workflow blocks", "||B||"});
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      std::string profiles = std::to_string(shards[s].store.size());
+      if (ds.store.er_type() == ErType::kCleanClean) {
+        profiles += " (" + std::to_string(shards[s].store.source1_size()) +
+                    "+" + std::to_string(shards[s].store.source2_size()) +
+                    ")";
+      }
+      BlockCollection shard_blocks =
+          BuildTokenWorkflowBlocks(shards[s].store, workflow_options);
+      table.AddRow({std::to_string(s), std::move(profiles),
+                    std::to_string(shard_blocks.size()),
+                    std::to_string(shard_blocks.AggregateCardinality())});
+    }
+    table.Print();
+  }
   return 0;
 }
 
