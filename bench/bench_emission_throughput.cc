@@ -1,0 +1,263 @@
+// Emission-phase throughput bench: the pay-as-you-go part of progressive
+// ER the paper actually measures recall against (Alg. 6) — how fast can
+// the engine *emit* once initialization is done?
+//
+// Two paths per configuration, both draining the same engine setup:
+//
+//   emit_serial     the reference path (lookahead 0): every refill —
+//                   ProcessProfile / ProcessBlock, and for sharded runs
+//                   every shard-head refill of the k-way merge — is
+//                   computed inline on the consuming thread;
+//   emit_pipelined  the emission pipeline (lookahead > 0): refill batches
+//                   are produced ahead of consumption on producer tasks,
+//                   one per shard, so the consumer pops completed batches.
+//
+// Both paths emit the *bit-identical* comparison stream (same pairs, same
+// weights, same order); the bench folds every emission into an FNV-1a
+// digest and fails (exit 1) on any divergence.
+//
+//   bench_emission_throughput [--scale=S] [--dataset=NAME] [--method=M]
+//                             [--repeat=R] [--threads=T] [--budget=N]
+//                             [--shards=S1,S2,...] [--lookahead=L1,L2,...]
+//                             [--json=PATH]
+//
+// --json emits {dataset, scale, threads, shards, lookahead, path,
+// wall_ms, speedup} records (schema: bench/BENCH.md); speedup is
+// serial/pipelined at the same shard count. Speedup needs spare physical
+// cores: with S shards the pipelined path keeps S producers plus the
+// merge thread busy; on a 1-core machine it degrades to ~1.0x (queue
+// overhead only) while the digests still pin correctness.
+//
+// The timer covers the drain only — producers start prefetching during
+// engine construction, before the timer. With the default --budget=0
+// (drain dry) that head start is at most lookahead slots per shard,
+// noise against millions of emissions; a small --budget makes the
+// pipelined number mostly prefetched-for-free and the speedup
+// meaningless, so the bench warns when budget is within ~20x of the
+// prefetch bound.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "engine/progressive_engine.h"
+#include "engine/sharded_engine.h"
+#include "eval/table.h"
+
+namespace {
+
+using namespace sper;
+
+double Millis(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One drained stream, reduced to a comparable digest.
+struct DrainResult {
+  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+  std::uint64_t emitted = 0;
+  double wall_ms = 0.0;
+
+  void Fold(const Comparison& c) {
+    const auto mix = [this](std::uint64_t v) {
+      digest ^= v;
+      digest *= 1099511628211ull;  // FNV-1a prime
+    };
+    mix(c.i);
+    mix(c.j);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(c.weight));
+    std::memcpy(&bits, &c.weight, sizeof(bits));
+    mix(bits);
+    ++emitted;
+  }
+
+  bool SameStream(const DrainResult& other) const {
+    return digest == other.digest && emitted == other.emitted;
+  }
+};
+
+/// Builds the engine (ShardedEngine for shards > 1), then times the
+/// emission drain only — initialization is bench_parallel_scaling's job.
+DrainResult RunOnce(const ProfileStore& store, MethodId method,
+                    std::size_t threads, std::size_t shards,
+                    std::size_t lookahead, std::uint64_t budget) {
+  std::unique_ptr<ProgressiveEmitter> engine;
+  EngineOptions options;
+  options.method = method;
+  options.num_threads = threads;
+  options.budget = budget;
+  options.lookahead = lookahead;
+  if (shards > 1) {
+    ShardedEngineOptions sharded;
+    sharded.num_shards = shards;
+    sharded.engine = options;
+    engine = std::make_unique<ShardedEngine>(store, sharded);
+  } else {
+    engine = std::make_unique<ProgressiveEngine>(store, options);
+  }
+
+  DrainResult result;
+  const auto start = std::chrono::steady_clock::now();
+  while (std::optional<Comparison> c = engine->Next()) {
+    result.Fold(*c);
+  }
+  result.wall_ms = Millis(start);
+  return result;
+}
+
+std::vector<std::size_t> ParseList(const char* p) {
+  std::vector<std::size_t> out;
+  while (*p != '\0') {
+    out.push_back(std::strtoul(p, nullptr, 10));
+    while (*p != '\0' && *p != ',') ++p;
+    if (*p == ',') ++p;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  int repeat = 3;
+  std::string dataset_name = "dbpedia";
+  std::string method_name = "pps";
+  std::string json_path;
+  std::size_t threads = 8;
+  std::uint64_t budget = 0;  // 0 = drain the method dry
+  std::vector<std::size_t> shard_counts = {1, 4};
+  std::vector<std::size_t> lookaheads = {4};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--dataset=", 10) == 0) {
+      dataset_name = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--method=", 9) == 0) {
+      method_name = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      repeat = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::strtoul(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      budget = std::strtoull(argv[i] + 9, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shard_counts = ParseList(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--lookahead=", 12) == 0) {
+      lookaheads = ParseList(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::printf(
+          "usage: %s [--scale=S] [--dataset=NAME] [--method=M] "
+          "[--repeat=R] [--threads=T] [--budget=N] [--shards=S1,S2,...] "
+          "[--lookahead=L1,L2,...] [--json=PATH]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+
+  const std::optional<MethodId> method = ParseMethodId(method_name);
+  if (!method.has_value()) {
+    std::fprintf(stderr, "unknown method '%s'\n", method_name.c_str());
+    return 2;
+  }
+  DatagenOptions gen;
+  gen.scale = scale;
+  Result<DatasetBundle> dataset = GenerateDataset(dataset_name, gen);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const ProfileStore& store = dataset.value().store;
+  std::printf("dataset %s: %zu profiles (scale %.2f, %s), method %s, "
+              "threads %zu, budget %llu, hardware threads %u\n",
+              dataset.value().name.c_str(), store.size(), scale,
+              ToString(store.er_type()),
+              std::string(ToString(*method)).c_str(), threads,
+              static_cast<unsigned long long>(budget),
+              std::thread::hardware_concurrency());
+
+  if (budget > 0) {
+    // Producers prefetch up to ~(lookahead + 1) slots of >= 256
+    // comparisons per shard before the drain timer starts.
+    std::uint64_t max_prefetch = 0;
+    for (std::size_t shards : shard_counts) {
+      for (std::size_t lookahead : lookaheads) {
+        max_prefetch = std::max<std::uint64_t>(
+            max_prefetch, shards * (lookahead + 1) * 256);
+      }
+    }
+    if (budget < 20 * max_prefetch) {
+      std::printf("WARNING: budget %llu is within 20x of the prefetch "
+                  "bound (~%llu comparisons computed before the timer); "
+                  "pipelined speedups below are not meaningful.\n",
+                  static_cast<unsigned long long>(budget),
+                  static_cast<unsigned long long>(max_prefetch));
+    }
+  }
+
+  std::vector<sper::bench::JsonRecord> records;
+  TextTable table({"shards", "lookahead", "emitted", "emission (ms)",
+                   "speedup", "digest"});
+  bool ok = true;
+  for (std::size_t shards : shard_counts) {
+    DrainResult serial;
+    for (int r = 0; r < repeat; ++r) {
+      DrainResult run =
+          RunOnce(store, *method, threads, shards, /*lookahead=*/0, budget);
+      if (r == 0 || run.wall_ms < serial.wall_ms) serial = run;
+    }
+    table.AddRow({std::to_string(shards), "0 (serial)",
+                  std::to_string(serial.emitted),
+                  FormatDouble(serial.wall_ms, 1), "1.00x", "reference"});
+    records.push_back({dataset.value().name, scale, threads, "emit_serial",
+                       serial.wall_ms, 1.0, shards, 0});
+
+    for (std::size_t lookahead : lookaheads) {
+      if (lookahead == 0) continue;
+      DrainResult pipelined;
+      for (int r = 0; r < repeat; ++r) {
+        DrainResult run =
+            RunOnce(store, *method, threads, shards, lookahead, budget);
+        if (r == 0 || run.wall_ms < pipelined.wall_ms) pipelined = run;
+      }
+      const bool match = pipelined.SameStream(serial);
+      ok = ok && match;
+      const double speedup =
+          pipelined.wall_ms > 0 ? serial.wall_ms / pipelined.wall_ms : 0.0;
+      table.AddRow({std::to_string(shards), std::to_string(lookahead),
+                    std::to_string(pipelined.emitted),
+                    FormatDouble(pipelined.wall_ms, 1),
+                    FormatDouble(speedup, 2) + "x",
+                    match ? "match" : "MISMATCH"});
+      records.push_back({dataset.value().name, scale, threads,
+                         "emit_pipelined", pipelined.wall_ms, speedup,
+                         shards, lookahead});
+    }
+  }
+  table.Print();
+  std::printf("\ndigest = FNV-1a over every emitted (i, j, weight); "
+              "\"match\" means the pipelined\nstream is bit-identical to "
+              "the serial reference at the same shard count.\n");
+
+  if (!json_path.empty() &&
+      !sper::bench::WriteJsonRecords(json_path, records)) {
+    return 1;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: pipelined emission diverged from serial\n");
+    return 1;
+  }
+  return 0;
+}

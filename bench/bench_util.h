@@ -57,6 +57,8 @@ struct JsonRecord {
   double speedup = 1.0;
   /// Hash shards of a ShardedEngine run; 1 for unsharded paths.
   std::size_t shards = 1;
+  /// Emission pipeline lookahead of the run; 0 for serial-emission paths.
+  std::size_t lookahead = 0;
 };
 
 /// Escapes a string for embedding inside a JSON string literal: quotes,
@@ -110,11 +112,11 @@ inline bool WriteJsonRecords(const std::string& file,
     const JsonRecord& r = records[i];
     std::fprintf(out,
                  "  {\"dataset\": \"%s\", \"scale\": %g, \"threads\": %zu, "
-                 "\"shards\": %zu, \"path\": \"%s\", \"wall_ms\": %.3f, "
-                 "\"speedup\": %.3f}%s\n",
+                 "\"shards\": %zu, \"lookahead\": %zu, \"path\": \"%s\", "
+                 "\"wall_ms\": %.3f, \"speedup\": %.3f}%s\n",
                  JsonEscape(r.dataset).c_str(), r.scale, r.threads, r.shards,
-                 JsonEscape(r.path).c_str(), r.wall_ms, r.speedup,
-                 i + 1 < records.size() ? "," : "");
+                 r.lookahead, JsonEscape(r.path).c_str(), r.wall_ms,
+                 r.speedup, i + 1 < records.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);

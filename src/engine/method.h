@@ -25,6 +25,11 @@ enum class MethodId {
 /// Method acronym as printed in the paper.
 std::string_view ToString(MethodId id);
 
+/// True for the Comparison-List methods (PBS, PPS), whose emitters expose
+/// the refill-batch boundary (BatchSource) the emission pipeline needs.
+/// EngineOptions::lookahead has no effect on the other methods.
+bool MethodHasBatchRefills(MethodId id);
+
 /// Inverse of ToString ("PPS", "SA-PSN", ...); nullopt for unknown names.
 std::optional<MethodId> ParseMethodId(std::string_view name);
 

@@ -32,6 +32,10 @@ std::string_view ToString(MethodId id) {
   return "?";
 }
 
+bool MethodHasBatchRefills(MethodId id) {
+  return id == MethodId::kPbs || id == MethodId::kPps;
+}
+
 std::optional<MethodId> ParseMethodId(std::string_view name) {
   // Case-insensitive, and '_' is accepted for '-' so shell-friendly
   // spellings like "pps" or "sa_psn" parse.
@@ -55,7 +59,8 @@ std::optional<MethodId> ParseMethodId(std::string_view name) {
 }
 
 ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
-                                     EngineOptions options)
+                                     EngineOptions options,
+                                     ThreadPool* emission_pool)
     : options_(std::move(options)) {
   const auto start = std::chrono::steady_clock::now();
   if (options_.num_threads == 0) options_.num_threads = 1;
@@ -111,14 +116,60 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
   }
   SPER_CHECK(inner_ != nullptr && "unknown method");
 
+  // Emission pipeline (lookahead > 0): run the method's refills on a pool
+  // worker, bounded `lookahead` batches ahead of Next(). Only the
+  // batch-refilling methods expose the refill boundary; the rest keep the
+  // serial path regardless of the option.
+  batch_source_ = dynamic_cast<BatchSource*>(inner_.get());
+  if (options_.lookahead > 0 && batch_source_ != nullptr) {
+    if (emission_pool == nullptr) {
+      owned_emission_pool_ = std::make_unique<ThreadPool>(1);
+      emission_pool = owned_emission_pool_.get();
+    }
+    // Refill batches can be tiny (a PPS profile contributes at most kmax
+    // and usually far fewer comparisons), so the producer coalesces
+    // consecutive refills into one ring slot until it holds at least
+    // kMinBatchItems. Consecutive batches are consumed back to back
+    // anyway, so concatenation keeps the serial order while amortizing
+    // the per-slot handoff to once per ~kMinBatchItems emissions.
+    constexpr std::size_t kMinBatchItems = 256;
+    pipeline_ = std::make_unique<EmissionPipeline<ComparisonList>>(
+        options_.lookahead,
+        [source = batch_source_,
+         scratch = ComparisonList()](ComparisonList& out) mutable {
+          out.Clear();
+          do {
+            if (!source->ProduceBatch(scratch)) break;
+            out.AppendFrom(scratch);
+          } while (out.remaining() < kMinBatchItems);
+          return !out.Empty();
+        });
+    pipeline_->Start(*emission_pool);
+  }
+
   stats_.init_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 }
 
+std::optional<Comparison> ProgressiveEngine::PipelinedNext() {
+  // front_ caches the slot being drained so the ring (and its mutex) is
+  // only touched once per batch, not once per comparison.
+  while (front_ == nullptr || front_->Empty()) {
+    if (front_ != nullptr) {
+      pipeline_->PopFront();  // batch drained: recycle the slot
+      front_ = nullptr;
+    }
+    front_ = pipeline_->Front();
+    if (front_ == nullptr) return std::nullopt;  // exhausted
+  }
+  return front_->PopFirst();
+}
+
 std::optional<Comparison> ProgressiveEngine::Next() {
   if (BudgetExhausted()) return std::nullopt;
-  std::optional<Comparison> next = inner_->Next();
+  std::optional<Comparison> next =
+      pipeline_ != nullptr ? PipelinedNext() : inner_->Next();
   if (next.has_value()) ++emitted_;
   return next;
 }

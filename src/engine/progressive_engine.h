@@ -9,6 +9,9 @@
 #include "core/profile_store.h"
 #include "core/types.h"
 #include "engine/method.h"
+#include "parallel/emission_pipeline.h"
+#include "parallel/thread_pool.h"
+#include "progressive/comparison_list.h"
 #include "progressive/emitter.h"
 #include "progressive/gs_psn.h"
 #include "progressive/pbs.h"
@@ -24,6 +27,12 @@
 /// single constructor, runs every initialization hot path on
 /// `num_threads` threads (identical output at every thread count), and
 /// enforces an optional pay-as-you-go comparison budget on emission.
+///
+/// Emission is serial by default (Next() computes refills inline — the
+/// reference path). With `lookahead > 0` the engine runs the emission
+/// pipeline instead: a producer task computes refill batches strictly in
+/// cursor order up to `lookahead` batches ahead, and Next() pops from
+/// completed batches. The emitted sequence is bit-identical either way.
 
 namespace sper {
 
@@ -42,6 +51,18 @@ struct EngineOptions {
   /// once exhausted, Next() returns nullopt even if the method could
   /// continue.
   std::uint64_t budget = 0;
+
+  /// Emission pipeline lookahead: how many completed *queue slots* the
+  /// producer task may run ahead of the consumer. A slot holds one or
+  /// more consecutive refill batches — small refills are coalesced until
+  /// a slot carries at least ~256 comparisons — so the bound on buffered
+  /// precomputation is roughly lookahead * max(256, largest refill)
+  /// comparisons, not lookahead individual refills. 0 = the serial
+  /// reference path, where Next() computes refills inline. Applies to
+  /// the batch-refilling methods (PBS, PPS; MethodHasBatchRefills); the
+  /// sort-based methods ignore it. The emitted sequence is bit-identical
+  /// at every setting — only wall-clock changes.
+  std::size_t lookahead = 0;
 
   /// Blocking workflow for the equality-based methods (PBS, PPS).
   TokenWorkflowOptions workflow;
@@ -75,9 +96,18 @@ struct EngineInitStats {
 class ProgressiveEngine : public ProgressiveEmitter {
  public:
   /// Initialization phase: builds blocking structures (in parallel when
-  /// options.num_threads > 1) and the method emitter. The store must
-  /// outlive the engine. kPsn requires options.schema_key.
-  ProgressiveEngine(const ProfileStore& store, EngineOptions options);
+  /// options.num_threads > 1) and the method emitter; with
+  /// options.lookahead > 0 it also starts the emission pipeline's
+  /// producer. The store must outlive the engine. kPsn requires
+  /// options.schema_key.
+  ///
+  /// `emission_pool` hosts the producer task when given (it must have one
+  /// free worker per pipelined engine for the engine's lifetime, and must
+  /// outlive the engine — ShardedEngine shares one pool across shards);
+  /// nullptr makes the engine own a single-worker pool. Unused when
+  /// lookahead == 0.
+  ProgressiveEngine(const ProfileStore& store, EngineOptions options,
+                    ThreadPool* emission_pool = nullptr);
 
   /// Emission phase: the next best comparison, honoring the budget.
   std::optional<Comparison> Next() override;
@@ -97,9 +127,23 @@ class ProgressiveEngine : public ProgressiveEmitter {
   const EngineInitStats& init_stats() const { return stats_; }
 
  private:
+  /// Pops the next comparison off the pipeline's completed batches.
+  std::optional<Comparison> PipelinedNext();
+
   EngineOptions options_;
   EngineInitStats stats_;
   std::unique_ptr<ProgressiveEmitter> inner_;
+  /// inner_ viewed through its refill-batch capability; nullptr for the
+  /// sort-based methods.
+  BatchSource* batch_source_ = nullptr;
+  // Members are destroyed in reverse declaration order: the pipeline must
+  // close (and its producer task exit) before the owned pool joins, and
+  // both before inner_ — whose refills the producer runs — is destroyed.
+  std::unique_ptr<ThreadPool> owned_emission_pool_;
+  std::unique_ptr<EmissionPipeline<ComparisonList>> pipeline_;
+  /// The ring slot Next() is draining (owned by the pipeline); caching it
+  /// keeps ring synchronization off the per-comparison path.
+  ComparisonList* front_ = nullptr;
   std::uint64_t emitted_ = 0;
 };
 

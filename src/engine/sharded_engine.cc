@@ -47,19 +47,43 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
   inner.num_threads =
       std::max<std::size_t>(1, options_.engine.num_threads / concurrency);
 
+  // Parallel shard refills (lookahead > 0, batch-refilling method): a
+  // shared pool hosts every shard's emission-pipeline producer. It needs
+  // one worker per live pipeline — a producer that queues behind another
+  // shard's would never run, and the merge blocks forever on that shard's
+  // first head. Sort-based methods never start a pipeline, so spawning
+  // workers for them would just park S idle threads. The worker-per-shard
+  // requirement also means the pool cannot be shrunk below the pipeline
+  // count, so past kMaxPipelinedShards the engine falls back to serial
+  // refills (always correct, same output) instead of spawning an OS
+  // thread per shard.
+  constexpr std::size_t kMaxPipelinedShards = 64;
+  std::size_t active_shards = 0;
+  for (const StoreShard& shard : shards_) {
+    if (ShardHasCandidates(shard.store)) ++active_shards;
+  }
+  if (inner.lookahead > 0 && MethodHasBatchRefills(inner.method) &&
+      active_shards > 0) {
+    if (active_shards <= kMaxPipelinedShards) {
+      emission_pool_ = std::make_unique<ThreadPool>(active_shards);
+    } else {
+      inner.lookahead = 0;
+    }
+  }
+
   if (concurrency <= 1) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (!ShardHasCandidates(shards_[s].store)) continue;
-      engines_[s] =
-          std::make_unique<ProgressiveEngine>(shards_[s].store, inner);
+      engines_[s] = std::make_unique<ProgressiveEngine>(
+          shards_[s].store, inner, emission_pool_.get());
     }
   } else {
     ThreadPool pool(concurrency);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (!ShardHasCandidates(shards_[s].store)) continue;
       pool.Submit([this, s, &inner] {
-        engines_[s] =
-            std::make_unique<ProgressiveEngine>(shards_[s].store, inner);
+        engines_[s] = std::make_unique<ProgressiveEngine>(
+            shards_[s].store, inner, emission_pool_.get());
       });
     }
     pool.Wait();

@@ -12,6 +12,7 @@
 #include "core/store_partition.h"
 #include "engine/progressive_engine.h"
 #include "parallel/ordered_merge.h"
+#include "parallel/thread_pool.h"
 #include "progressive/emitter.h"
 
 /// \file sharded_engine.h
@@ -22,6 +23,13 @@
 /// runs per shard, with the shard constructions themselves fanned out on
 /// the ThreadPool; emission stays a sequential pull-based stream in
 /// *original* profile ids.
+///
+/// With `engine.lookahead > 0` shard refills run *in parallel*: every
+/// shard engine's emission pipeline producer lives on a shared pool (one
+/// worker per non-barren shard), so when the k-way merge pops a shard
+/// head, the refill it triggers is an O(1) pop from that shard's
+/// completed batches — S shards keep S producers busy instead of
+/// serializing every ProcessProfile/ProcessBlock on the merge thread.
 ///
 /// Determinism contract: the merged stream depends only on (store,
 /// options.num_shards, engine options) — never on thread count or timing.
@@ -40,8 +48,14 @@ struct ShardedEngineOptions {
   /// Per-shard engine configuration. `engine.budget` is interpreted as
   /// the *global* pay-as-you-go budget across all shards (inner engines
   /// run unbudgeted; the merged stream is capped). `engine.num_threads`
-  /// is the total thread budget: shard initializations run concurrently
-  /// and split it evenly.
+  /// is the total thread budget for *initialization*: shard
+  /// initializations run concurrently and split it evenly.
+  /// `engine.lookahead` applies per shard and turns on the parallel
+  /// refills described above; emission then uses one additional producer
+  /// thread per non-barren shard (not counted against num_threads, and
+  /// capped: past 64 non-barren shards the engine silently falls back to
+  /// serial refills rather than spawn an OS thread per shard — the
+  /// emitted stream is identical either way).
   EngineOptions engine;
 };
 
@@ -91,6 +105,12 @@ class ShardedEngine : public ProgressiveEmitter {
   ShardedEngineOptions options_;
   ShardedInitStats stats_;
   std::vector<StoreShard> shards_;
+  // Hosts the per-shard emission-pipeline producers (lookahead > 0): one
+  // worker per non-barren shard, so no producer ever waits for a worker —
+  // the merge would deadlock waiting on a head no worker is computing.
+  // Declared before engines_ so it is destroyed (joined) after every
+  // engine has shut its pipeline down.
+  std::unique_ptr<ThreadPool> emission_pool_;
   std::vector<std::unique_ptr<ProgressiveEngine>> engines_;
   KWayMerge<Comparison, ByWeightDesc> merge_;
   std::uint64_t emitted_ = 0;

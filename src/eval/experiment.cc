@@ -12,6 +12,7 @@ std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
   EngineOptions options;
   options.method = id;
   options.num_threads = config.num_threads;
+  options.lookahead = config.lookahead;
   options.workflow = config.workflow;
   options.scheme = config.scheme;
   options.pps_kmax = config.pps_kmax;

@@ -42,6 +42,10 @@ struct MethodConfig {
   /// Hash shards for sharded serving (>1 routes through ShardedEngine:
   /// one engine per shard, globally merged emission in original ids).
   std::size_t num_shards = 1;
+  /// Emission pipeline lookahead (EngineOptions::lookahead): 0 = serial
+  /// reference emission; > 0 overlaps refill production with consumption
+  /// (per shard when sharded) with a bit-identical emitted sequence.
+  std::size_t lookahead = 0;
 };
 
 /// Builds the requested emitter on the dataset via the ProgressiveEngine

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace sper {
 
@@ -30,13 +28,29 @@ std::vector<Comparison> WeightEdgePruning(const BlockingGraph& graph) {
 
 std::vector<Comparison> CardinalityNodePruning(const BlockingGraph& graph) {
   if (graph.num_nodes() == 0) return {};
+  const std::vector<Comparison>& edges = graph.edges();
 
-  // Adjacency: node -> incident edges (index into graph.edges()).
-  std::unordered_map<ProfileId, std::vector<std::size_t>> incident;
-  for (std::size_t idx = 0; idx < graph.edges().size(); ++idx) {
-    const Comparison& e = graph.edges()[idx];
-    incident[e.i].push_back(idx);
-    incident[e.j].push_back(idx);
+  // Incident-edge adjacency in CSR form: a counting pass sizes each
+  // node's slice, a fill pass drops edge ids in — two flat arrays instead
+  // of a hash map of heap vectors. Each slice holds its node's incident
+  // edge ids in ascending id order (the fill walks edges in order), the
+  // same per-node sequence the old map layout produced.
+  ProfileId max_node = 0;
+  for (const Comparison& e : edges) max_node = std::max(max_node, e.j);
+  const std::size_t num_slots = static_cast<std::size_t>(max_node) + 1;
+
+  std::vector<std::size_t> offsets(num_slots + 1, 0);
+  for (const Comparison& e : edges) {
+    ++offsets[e.i + 1];
+    ++offsets[e.j + 1];
+  }
+  for (std::size_t n = 0; n < num_slots; ++n) offsets[n + 1] += offsets[n];
+
+  std::vector<std::size_t> incident(2 * edges.size());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t idx = 0; idx < edges.size(); ++idx) {
+    incident[cursor[edges[idx].i]++] = idx;
+    incident[cursor[edges[idx].j]++] = idx;
   }
 
   const double avg_degree = 2.0 * static_cast<double>(graph.num_edges()) /
@@ -44,20 +58,28 @@ std::vector<Comparison> CardinalityNodePruning(const BlockingGraph& graph) {
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::llround(avg_degree / 2.0)));
 
-  std::unordered_set<std::size_t> survivors;
-  for (auto& [node, edge_ids] : incident) {
-    const std::size_t keep = std::min(k, edge_ids.size());
-    std::partial_sort(edge_ids.begin(), edge_ids.begin() + keep,
-                      edge_ids.end(), [&](std::size_t a, std::size_t b) {
-                        return ByWeightDesc()(graph.edges()[a],
-                                              graph.edges()[b]);
+  // An edge survives if either endpoint ranks it among its k best: one
+  // bit per edge id instead of a hash set of ids.
+  std::vector<std::uint64_t> survivors((edges.size() + 63) / 64, 0);
+  for (std::size_t node = 0; node < num_slots; ++node) {
+    const auto begin = incident.begin() + offsets[node];
+    const auto end = incident.begin() + offsets[node + 1];
+    const std::size_t keep =
+        std::min(k, static_cast<std::size_t>(end - begin));
+    std::partial_sort(begin, begin + keep, end,
+                      [&](std::size_t a, std::size_t b) {
+                        return ByWeightDesc()(edges[a], edges[b]);
                       });
-    for (std::size_t x = 0; x < keep; ++x) survivors.insert(edge_ids[x]);
+    for (std::size_t x = 0; x < keep; ++x) {
+      const std::size_t idx = *(begin + x);
+      survivors[idx / 64] |= std::uint64_t{1} << (idx % 64);
+    }
   }
 
   std::vector<Comparison> kept;
-  kept.reserve(survivors.size());
-  for (std::size_t idx : survivors) kept.push_back(graph.edges()[idx]);
+  for (std::size_t idx = 0; idx < edges.size(); ++idx) {
+    if ((survivors[idx / 64] >> (idx % 64)) & 1) kept.push_back(edges[idx]);
+  }
   SortByPair(kept);
   return kept;
 }

@@ -1,0 +1,121 @@
+#ifndef SPER_PARALLEL_EMISSION_PIPELINE_H_
+#define SPER_PARALLEL_EMISSION_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "parallel/spsc_ring.h"
+#include "parallel/thread_pool.h"
+
+/// \file emission_pipeline.h
+/// The emission pipeline: overlaps refill-batch *production* with
+/// comparison *consumption* while preserving the exact serial emission
+/// order. A single producer task on a ThreadPool runs the method's refill
+/// procedure strictly in cursor order, up to `lookahead` batches ahead of
+/// the consumer; the consumer pops completed batches from a bounded SPSC
+/// ring (spsc_ring.h) instead of computing them inline.
+///
+/// Why a *single in-order* producer is enough: in PPS (paper Alg. 6) the
+/// only dependency between refills is the checkedEntities array written by
+/// consecutive ProcessProfile calls, and in PBS (Alg. 4) refills are
+/// independent per scheduled block — either way, producing batches one at
+/// a time in cursor order yields byte-for-byte the batches the serial path
+/// would compute, so the consumer-side stream is bit-identical at every
+/// lookahead. Parallelism across *streams* (one producer per shard) is
+/// what keeps multiple cores busy; see engine/sharded_engine.h.
+
+namespace sper {
+
+/// Runs `produce` on a pool worker, `lookahead` batches ahead of the
+/// consumer. Batch is any reusable buffer type (the engines use
+/// ComparisonList); `produce` must fill the passed batch and return false
+/// once the stream is exhausted.
+template <typename Batch>
+class EmissionPipeline {
+ public:
+  using Produce = std::function<bool(Batch&)>;
+
+  /// `lookahead` bounds how many completed batches may be queued (at
+  /// least 1). Production does not start until Start().
+  EmissionPipeline(std::size_t lookahead, Produce produce)
+      : ring_(lookahead), produce_(std::move(produce)) {}
+
+  /// Submits the producer loop. The pool must have a worker available for
+  /// the pipeline's whole lifetime: the task runs until the stream is
+  /// exhausted or the pipeline shuts down (callers size their pool with
+  /// one worker per live pipeline — see ShardedEngine).
+  void Start(ThreadPool& pool) {
+    started_ = true;
+    pool.Submit([this] { ProducerLoop(); });
+  }
+
+  /// Closes the ring and blocks until the producer task exited. Safe to
+  /// call at any point of the stream (budget exhaustion abandons it
+  /// mid-flight); idempotent.
+  void Shutdown() {
+    if (!started_) return;
+    ring_.Close();
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [this] { return done_; });
+  }
+
+  ~EmissionPipeline() { Shutdown(); }
+
+  EmissionPipeline(const EmissionPipeline&) = delete;
+  EmissionPipeline& operator=(const EmissionPipeline&) = delete;
+
+  /// Consumer: the oldest completed batch, blocking until the producer
+  /// commits one. nullptr once the stream is exhausted and drained; if the
+  /// producer died on an exception, it is rethrown here.
+  Batch* Front() {
+    Batch* front = ring_.Front();
+    if (front == nullptr) {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      if (exception_ != nullptr) {
+        std::rethrow_exception(std::exchange(exception_, nullptr));
+      }
+    }
+    return front;
+  }
+
+  /// Consumer: recycles the drained Front() batch for the producer.
+  void PopFront() { ring_.PopFront(); }
+
+ private:
+  void ProducerLoop() {
+    try {
+      for (;;) {
+        Batch* slot = ring_.AcquireSlot();
+        if (slot == nullptr) break;  // consumer closed the stream
+        if (!produce_(*slot)) break;  // stream exhausted
+        ring_.CommitSlot();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      exception_ = std::current_exception();
+    }
+    ring_.FinishProduction();
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_ = true;
+    }
+    done_cv_.notify_all();
+  }
+
+  SpscSlotRing<Batch> ring_;
+  Produce produce_;
+  bool started_ = false;
+
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+  std::exception_ptr exception_;
+};
+
+}  // namespace sper
+
+#endif  // SPER_PARALLEL_EMISSION_PIPELINE_H_

@@ -1,0 +1,115 @@
+#ifndef SPER_PARALLEL_SPSC_RING_H_
+#define SPER_PARALLEL_SPSC_RING_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+/// \file spsc_ring.h
+/// Bounded single-producer/single-consumer ring of reusable slots — the
+/// queue primitive of the emission pipeline (emission_pipeline.h). Unlike a
+/// value queue, slots are fixed in place and handed out by pointer: the
+/// producer fills a slot's existing buffers (no allocation after warm-up)
+/// and the consumer returns the slot for reuse once drained. Capacity
+/// bounds how far production may run ahead of consumption.
+
+namespace sper {
+
+/// A ring of `capacity` default-constructed T slots with blocking
+/// producer/consumer handoff.
+///
+/// Exactly one producer thread may call AcquireSlot/CommitSlot/
+/// FinishProduction and exactly one consumer thread may call Front/
+/// PopFront; Close may be called from any thread (typically the consumer
+/// abandoning the stream). All transitions are mutex-protected — the ring
+/// favors simplicity over lock-free throughput because every slot carries
+/// a whole refill batch, so handoffs are rare relative to the work they
+/// transport.
+template <typename T>
+class SpscSlotRing {
+ public:
+  explicit SpscSlotRing(std::size_t capacity)
+      : slots_(std::max<std::size_t>(1, capacity)) {}
+
+  /// Producer: the next free slot to fill, blocking while the ring is
+  /// full. Returns nullptr once Close() was called — the producer must
+  /// stop. The slot keeps whatever state its previous use left behind
+  /// (that is the point: reuse its capacity).
+  T* AcquireSlot() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    can_produce_.wait(lock,
+                      [this] { return closed_ || size_ < slots_.size(); });
+    if (closed_) return nullptr;
+    return &slots_[(head_ + size_) % slots_.size()];
+  }
+
+  /// Producer: publishes the slot returned by the last AcquireSlot.
+  void CommitSlot() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++size_;
+    }
+    can_consume_.notify_one();
+  }
+
+  /// Producer: no further commits will happen; once the committed slots
+  /// are drained, Front() returns nullptr.
+  void FinishProduction() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      finished_ = true;
+    }
+    can_consume_.notify_one();
+  }
+
+  /// Consumer: the oldest committed slot, blocking until one is committed
+  /// or production finished. nullptr when the stream is over (finished and
+  /// drained, or closed).
+  T* Front() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    can_consume_.wait(lock,
+                      [this] { return closed_ || finished_ || size_ > 0; });
+    if (closed_ || size_ == 0) return nullptr;
+    return &slots_[head_];
+  }
+
+  /// Consumer: recycles the slot returned by Front(), unblocking the
+  /// producer.
+  void PopFront() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      head_ = (head_ + 1) % slots_.size();
+      --size_;
+    }
+    can_produce_.notify_one();
+  }
+
+  /// Aborts the stream: both sides unblock and see nullptr. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    can_produce_.notify_all();
+    can_consume_.notify_all();
+  }
+
+  /// Number of slots.
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable can_produce_;
+  std::condition_variable can_consume_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;  // oldest committed slot
+  std::size_t size_ = 0;  // committed, not yet popped
+  bool finished_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace sper
+
+#endif  // SPER_PARALLEL_SPSC_RING_H_

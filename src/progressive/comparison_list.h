@@ -2,6 +2,7 @@
 #define SPER_PROGRESSIVE_COMPARISON_LIST_H_
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "core/comparison.h"
@@ -19,11 +20,36 @@ class ComparisonList {
   /// Appends a comparison to the unsorted tail.
   void Add(const Comparison& c) { items_.push_back(c); }
 
+  /// Pre-allocates for `n` comparisons (refills that know their upper
+  /// bound, e.g. a block's cardinality, avoid regrowth).
+  void Reserve(std::size_t n) { items_.reserve(n); }
+
   /// Sorts the whole buffer by descending weight (deterministic ties) and
-  /// rewinds the cursor. Call once per refill, after the Adds.
+  /// rewinds the cursor. Call once per refill, after the Adds — the path
+  /// for producers with no useful order (PBS blocks, the PPS initial
+  /// top-comparison set).
   void SortDescending() {
     std::sort(items_.begin(), items_.end(), ByWeightDesc());
     cursor_ = 0;
+  }
+
+  /// Replaces the buffer with `ascending` reversed. The path for
+  /// producers whose natural output order is non-decreasing likelihood —
+  /// a bounded top-k drain (PPS refills) — already a total order under
+  /// ByWeightDesc read backwards, so an O(n) reverse replaces the
+  /// O(n log n) re-sort of SortDescending().
+  void FillFromAscending(std::span<const Comparison> ascending) {
+    items_.assign(ascending.rbegin(), ascending.rend());
+    cursor_ = 0;
+  }
+
+  /// Appends `other`'s not-yet-popped comparisons to the tail, preserving
+  /// their order. The emission pipeline coalesces several small refill
+  /// batches into one ring slot this way: consecutive refills are emitted
+  /// back to back anyway, so concatenation preserves the serial order.
+  void AppendFrom(const ComparisonList& other) {
+    items_.insert(items_.end(), other.items_.begin() + other.cursor_,
+                  other.items_.end());
   }
 
   /// True when every buffered comparison has been popped.
@@ -32,7 +58,8 @@ class ComparisonList {
   /// Pops the highest-weighted remaining comparison.
   Comparison PopFirst() { return items_[cursor_++]; }
 
-  /// Drops all content (start of a refill).
+  /// Drops all content (start of a refill). Capacity is retained, so a
+  /// reused list (pipeline ring slots) stops allocating once warm.
   void Clear() {
     items_.clear();
     cursor_ = 0;

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "core/comparison.h"
+#include "progressive/comparison_list.h"
 
 /// \file emitter.h
 /// The streaming interface every progressive method implements.
@@ -36,6 +37,27 @@ class ProgressiveEmitter {
 
   /// Short method acronym, e.g. "PPS".
   virtual std::string_view name() const = 0;
+};
+
+/// Optional capability of the Comparison-List methods (PBS, PPS): exposes
+/// the deterministic refill boundary, so the emission pipeline
+/// (parallel/emission_pipeline.h) can run batch production ahead of
+/// consumption instead of computing refills inline in Next().
+///
+/// Contract: batches must be requested strictly in order by one caller at
+/// a time — a refill mutates method state the following refills depend on
+/// (PPS's checkedEntities, PBS's block cursor). Interleaving ProduceBatch
+/// with Next() on the same emitter is undefined: both advance the same
+/// refill cursor.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  /// Fills `out` (previous content discarded) with the next *non-empty*
+  /// refill batch in non-increasing likelihood order. Returns false once
+  /// the method is exhausted. Consuming every batch front to back yields
+  /// exactly the serial Next() sequence.
+  virtual bool ProduceBatch(ComparisonList& out) = 0;
 };
 
 }  // namespace sper

@@ -1,5 +1,7 @@
 #include "progressive/pbs.h"
 
+#include <algorithm>
+
 #include "blocking/block_scheduling.h"
 
 namespace sper {
@@ -13,8 +15,13 @@ PbsEmitter::PbsEmitter(const ProfileStore& store,
       weighter_(scheduled_, index_, store, options.scheme,
                 options.num_threads) {}
 
-void PbsEmitter::ProcessBlock(BlockId id) {
-  comparisons_.Clear();
+void PbsEmitter::ProcessBlock(BlockId id, ComparisonList& out) {
+  out.Clear();
+  // ||b|| bounds the Adds below, but most pairs are LeCoBI-filtered:
+  // reserving it all would over-allocate on large blocks, so cap it and
+  // let the (reused) vector grow past the cap the normal way.
+  out.Reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(scheduled_.Cardinality(id), 1024)));
   scheduled_.ForEachComparison(id, [&](ProfileId i, ProfileId j) {
     // One pass over the two block lists serves both operations of the
     // Profile Index: the LeCoBI repetition test (is `id` the least common
@@ -29,15 +36,22 @@ void PbsEmitter::ProcessBlock(BlockId id) {
     // (repeated comparison); least > id is impossible because `id`
     // contains both profiles.
     if (least != id) return;
-    comparisons_.Add(Comparison(i, j, weighter_.Finalize(i, j, accumulated)));
+    out.Add(Comparison(i, j, weighter_.Finalize(i, j, accumulated)));
   });
-  comparisons_.SortDescending();
+  out.SortDescending();
+}
+
+bool PbsEmitter::ProduceBatch(ComparisonList& out) {
+  for (;;) {
+    if (next_block_ >= scheduled_.size()) return false;
+    ProcessBlock(next_block_++, out);
+    if (!out.Empty()) return true;
+  }
 }
 
 std::optional<Comparison> PbsEmitter::Next() {
-  while (comparisons_.Empty()) {
-    if (next_block_ >= scheduled_.size()) return std::nullopt;
-    ProcessBlock(next_block_++);
+  if (comparisons_.Empty() && !ProduceBatch(comparisons_)) {
+    return std::nullopt;
   }
   return comparisons_.PopFirst();
 }

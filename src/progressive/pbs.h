@@ -30,7 +30,7 @@ struct PbsOptions {
 };
 
 /// The PBS emitter.
-class PbsEmitter : public ProgressiveEmitter {
+class PbsEmitter : public ProgressiveEmitter, public BatchSource {
  public:
   /// Initialization phase (Algorithm 3): schedules `blocks` by increasing
   /// cardinality, builds the Profile Index over the scheduled collection
@@ -44,6 +44,12 @@ class PbsEmitter : public ProgressiveEmitter {
   /// scheduled block. nullopt once every block has been processed.
   std::optional<Comparison> Next() override;
 
+  /// Batch boundary for the emission pipeline: one batch per scheduled
+  /// block, in schedule order (blocks whose comparisons were all
+  /// LeCoBI-filtered are skipped). See BatchSource for the single-caller
+  /// contract.
+  bool ProduceBatch(ComparisonList& out) override;
+
   std::string_view name() const override { return "PBS"; }
 
   /// The scheduled block collection (diagnostics / tests).
@@ -51,8 +57,8 @@ class PbsEmitter : public ProgressiveEmitter {
 
  private:
   /// Algorithm 3 lines 4-12 for block `id`: LeCoBI-filter and weight its
-  /// comparisons.
-  void ProcessBlock(BlockId id);
+  /// comparisons into `out`.
+  void ProcessBlock(BlockId id, ComparisonList& out);
 
   const ProfileStore& store_;
   BlockCollection scheduled_;

@@ -1,7 +1,6 @@
 #include "progressive/pps.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 #include <utility>
 
@@ -112,13 +111,14 @@ PpsEmitter::PpsEmitter(const ProfileStore& store, BlockCollection blocks,
               if (a.second != b.second) return a.second > b.second;
               return a.first < b.first;
             });
+  initial_.Reserve(top_comparisons.size());
   for (const auto& [key, comparison] : top_comparisons) {
-    comparisons_.Add(comparison);
+    initial_.Add(comparison);
   }
-  comparisons_.SortDescending();
+  initial_.SortDescending();
 }
 
-void PpsEmitter::ProcessProfile(ProfileId i) {
+void PpsEmitter::ProcessProfile(ProfileId i, ComparisonList& out) {
   checked_[i] = true;
   // Gather unchecked comparable neighbors (Algorithm 6 lines 9-14): a
   // neighbor that was processed earlier had higher duplication likelihood,
@@ -145,30 +145,37 @@ void PpsEmitter::ProcessProfile(ProfileId i) {
     }
   }
 
-  // SortedStack (lines 15-18): a bounded min-heap keeps the Kmax
-  // top-weighted comparisons; the lowest is popped on overflow.
-  std::priority_queue<Comparison, std::vector<Comparison>, ByWeightDesc>
-      stack;  // ByWeightDesc as std::priority_queue comparator => min-heap
+  // SortedStack (lines 15-18): the reusable bounded top-k buffer keeps
+  // the Kmax top-weighted comparisons without a per-refill heap
+  // allocation; its ascending drain is reversed into the list (ByWeightDesc
+  // is total, so the result is bit-identical to the min-heap reference).
+  topk_.Reset(options_.kmax);
   for (ProfileId j : touched_) {
     const double w = weighter_.Finalize(i, j, weights_[j]);
-    stack.push(Comparison(i, j, w));
-    if (stack.size() > options_.kmax) stack.pop();
+    topk_.Push(Comparison(i, j, w));
     weights_[j] = 0.0;
   }
   touched_.clear();
+  out.FillFromAscending(topk_.SortedAscending());
+}
 
-  comparisons_.Clear();
-  while (!stack.empty()) {
-    comparisons_.Add(stack.top());
-    stack.pop();
+bool PpsEmitter::ProduceBatch(ComparisonList& out) {
+  for (;;) {
+    if (initial_pending_) {
+      initial_pending_ = false;
+      out = std::move(initial_);
+    } else if (cursor_ >= sorted_profiles_.size()) {
+      return false;
+    } else {
+      ProcessProfile(sorted_profiles_[cursor_++].first, out);
+    }
+    if (!out.Empty()) return true;
   }
-  comparisons_.SortDescending();
 }
 
 std::optional<Comparison> PpsEmitter::Next() {
-  while (comparisons_.Empty()) {
-    if (cursor_ >= sorted_profiles_.size()) return std::nullopt;
-    ProcessProfile(sorted_profiles_[cursor_++].first);
+  if (comparisons_.Empty() && !ProduceBatch(comparisons_)) {
+    return std::nullopt;
   }
   return comparisons_.PopFirst();
 }

@@ -11,6 +11,7 @@
 #include "metablocking/edge_weighting.h"
 #include "progressive/comparison_list.h"
 #include "progressive/emitter.h"
+#include "progressive/top_k.h"
 
 /// \file pps.h
 /// Progressive Profile Scheduling (PPS, paper Sec. 5.2.2, Algorithms 5-6).
@@ -43,7 +44,7 @@ struct PpsOptions {
 };
 
 /// The PPS emitter.
-class PpsEmitter : public ProgressiveEmitter {
+class PpsEmitter : public ProgressiveEmitter, public BatchSource {
  public:
   /// Initialization phase (Algorithm 5): builds the Profile Index over
   /// `blocks`, computes per-profile duplication likelihoods, the Sorted
@@ -57,6 +58,11 @@ class PpsEmitter : public ProgressiveEmitter {
   /// gathering its Kmax best comparisons among not-yet-checked neighbors.
   std::optional<Comparison> Next() override;
 
+  /// Batch boundary for the emission pipeline: the initial top-comparison
+  /// list first, then one batch per Sorted Profile List entry (empty
+  /// refills skipped). See BatchSource for the single-caller contract.
+  bool ProduceBatch(ComparisonList& out) override;
+
   std::string_view name() const override { return "PPS"; }
 
   /// The Sorted Profile List as (profile, duplication likelihood) pairs in
@@ -67,8 +73,8 @@ class PpsEmitter : public ProgressiveEmitter {
 
  private:
   /// Gathers the Kmax top-weighted comparisons of profile `i` among
-  /// unchecked neighbors into the Comparison List.
-  void ProcessProfile(ProfileId i);
+  /// unchecked neighbors into `out`.
+  void ProcessProfile(ProfileId i, ComparisonList& out);
 
   const ProfileStore& store_;
   BlockCollection blocks_;
@@ -79,11 +85,16 @@ class PpsEmitter : public ProgressiveEmitter {
   std::vector<std::pair<ProfileId, double>> sorted_profiles_;
   std::size_t cursor_ = 0;  // next Sorted Profile List entry
   std::vector<bool> checked_;  // checkedEntities of Algorithm 6
-  ComparisonList comparisons_;
+  ComparisonList initial_;  // batch 0: every node's top comparison
+  bool initial_pending_ = true;
+  ComparisonList comparisons_;  // serial-path buffer (Next())
 
-  // Sparse neighborhood accumulator (weights[] of Algorithms 5-6).
+  // Sparse neighborhood accumulator (weights[] of Algorithms 5-6) and the
+  // reusable SortedStack replacement — refill scratch, allocation-free
+  // once warm.
   std::vector<double> weights_;
   std::vector<ProfileId> touched_;
+  TopKBuffer topk_;
 };
 
 }  // namespace sper

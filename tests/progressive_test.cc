@@ -10,6 +10,7 @@
 
 #include "progressive/batch.h"
 #include "progressive/comparison_list.h"
+#include "progressive/top_k.h"
 #include "progressive/gs_psn.h"
 #include "progressive/ls_psn.h"
 #include "progressive/pbs.h"
@@ -87,6 +88,80 @@ TEST(ComparisonListTest, ClearResetsState) {
   list.Clear();
   EXPECT_TRUE(list.Empty());
   EXPECT_EQ(list.remaining(), 0u);
+}
+
+TEST(ComparisonListTest, FillFromAscendingReversesInsteadOfSorting) {
+  const std::vector<Comparison> ascending = {
+      Comparison(0, 3, 0.1), Comparison(1, 2, 0.5), Comparison(0, 1, 0.9)};
+  ComparisonList list;
+  list.Add(Comparison(7, 8, 42.0));  // replaced by the fill
+  list.FillFromAscending(ascending);
+  EXPECT_EQ(list.remaining(), 3u);
+  EXPECT_DOUBLE_EQ(list.PopFirst().weight, 0.9);
+  EXPECT_DOUBLE_EQ(list.PopFirst().weight, 0.5);
+  EXPECT_DOUBLE_EQ(list.PopFirst().weight, 0.1);
+  EXPECT_TRUE(list.Empty());
+}
+
+TEST(ComparisonListTest, AppendFromConcatenatesRemainingItems) {
+  ComparisonList batch;
+  batch.Add(Comparison(0, 1, 0.9));
+  batch.Add(Comparison(0, 2, 0.8));
+  batch.SortDescending();
+  batch.PopFirst();  // already-popped items must not be re-appended
+
+  ComparisonList list;
+  list.Add(Comparison(4, 5, 0.95));
+  list.AppendFrom(batch);
+  EXPECT_EQ(list.remaining(), 2u);
+  EXPECT_DOUBLE_EQ(list.PopFirst().weight, 0.95);
+  EXPECT_DOUBLE_EQ(list.PopFirst().weight, 0.8);
+}
+
+// ------------------------------------------------------------- TopKBuffer
+
+TEST(TopKBufferTest, KeepsTheKBestInAscendingOrder) {
+  TopKBuffer topk;
+  topk.Reset(3);
+  // Push enough to force several nth_element prunes (prune at 2k = 6).
+  for (int v = 0; v < 20; ++v) {
+    topk.Push(Comparison(0, static_cast<ProfileId>(v + 1), 0.05 * v));
+  }
+  std::span<const Comparison> kept = topk.SortedAscending();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept[0].weight, 0.05 * 17);
+  EXPECT_DOUBLE_EQ(kept[1].weight, 0.05 * 18);
+  EXPECT_DOUBLE_EQ(kept[2].weight, 0.05 * 19);
+}
+
+TEST(TopKBufferTest, TiesResolveByIdsLikeByWeightDesc) {
+  TopKBuffer topk;
+  topk.Reset(2);
+  topk.Push(Comparison(5, 6, 1.0));
+  topk.Push(Comparison(1, 2, 1.0));
+  topk.Push(Comparison(3, 4, 1.0));
+  std::span<const Comparison> kept = topk.SortedAscending();
+  ASSERT_EQ(kept.size(), 2u);
+  // ByWeightDesc ranks equal weights by ascending ids: (1,2) then (3,4).
+  EXPECT_EQ(kept[0].i, 3u);  // ascending = worst kept first
+  EXPECT_EQ(kept[1].i, 1u);
+}
+
+TEST(TopKBufferTest, UnboundedAndZeroAndReuse) {
+  TopKBuffer topk;
+  topk.Reset(SIZE_MAX);  // Same Eventual Quality: nothing truncated
+  for (int v = 0; v < 100; ++v) {
+    topk.Push(Comparison(0, static_cast<ProfileId>(v + 1), 1.0 * v));
+  }
+  EXPECT_EQ(topk.SortedAscending().size(), 100u);
+
+  topk.Reset(0);  // keep nothing
+  topk.Push(Comparison(0, 1, 1.0));
+  EXPECT_TRUE(topk.SortedAscending().empty());
+
+  topk.Reset(5);  // reuse after both extremes
+  topk.Push(Comparison(0, 1, 1.0));
+  EXPECT_EQ(topk.SortedAscending().size(), 1u);
 }
 
 // ------------------------------------------------------------------- PSN

@@ -8,18 +8,25 @@
 //       PREFIX_profiles.csv / PREFIX_truth.csv.
 //
 //   sper_cli run <dataset> --method=NAME [--seed=N] [--scale=S]
-//                [--ecmax=E] [--threads=N] [--shards=N] [--curve=FILE.csv]
+//                [--ecmax=E] [--threads=N] [--shards=N] [--lookahead=N]
+//                [--curve=FILE.csv]
 //       Run one progressive method under the paper's evaluation protocol;
 //       print the recall curve and AUC*, optionally dump the curve as CSV.
 //       --threads parallelizes the initialization phase (same output at
 //       every thread count). --shards=N hash-partitions the store and
 //       serves one engine per shard behind a merged emission stream.
+//       --lookahead=N pipelines emission: refill batches are produced
+//       ahead of consumption, up to N queue slots of >=256 comparisons
+//       each (per shard when sharded), bit-identical to the serial
+//       stream; 0 keeps the serial reference path. Defaults to 0 for
+//       --threads=1 and 4 otherwise.
 //       Method names are case-insensitive ("pps" == "PPS").
 //
 //   sper_cli inspect <dataset> [--seed=N] [--scale=S] [--threads=N]
-//                    [--shards=N]
+//                    [--shards=N] [--lookahead=N]
 //       Dataset statistics plus Token-Blocking-Workflow block statistics;
-//       --shards adds the per-shard partition breakdown.
+//       --shards adds the per-shard partition breakdown; --lookahead is
+//       reported as part of the serving configuration.
 
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +100,18 @@ std::size_t OptShards(const CliArgs& args) {
   return static_cast<std::size_t>(shards);
 }
 
+std::size_t OptLookahead(const CliArgs& args) {
+  // The serial emission path stays the reference: it is the default for
+  // --threads=1. Multi-threaded runs default to a small pipeline
+  // lookahead (the stream is bit-identical either way); an explicit
+  // --lookahead=0 always forces the serial path.
+  const double fallback = OptThreads(args) > 1 ? 4 : 0;
+  double lookahead = OptDouble(args, "lookahead", fallback);
+  if (!(lookahead >= 0)) lookahead = 0;
+  if (lookahead > 4096) lookahead = 4096;
+  return static_cast<std::size_t>(lookahead);
+}
+
 DatagenOptions GenOptions(const CliArgs& args) {
   DatagenOptions options;
   options.seed = static_cast<std::uint64_t>(OptDouble(args, "seed", 7));
@@ -158,7 +177,7 @@ int CmdRun(const CliArgs& args) {
   if (args.positional.size() < 2 || !args.options.count("method")) {
     std::fprintf(stderr, "usage: sper_cli run <dataset> --method=NAME "
                          "[--seed=N] [--scale=S] [--ecmax=E] [--threads=N] "
-                         "[--shards=N] [--curve=FILE.csv]\n");
+                         "[--shards=N] [--lookahead=N] [--curve=FILE.csv]\n");
     return 2;
   }
   Result<DatasetBundle> dataset =
@@ -176,6 +195,7 @@ int CmdRun(const CliArgs& args) {
   MethodConfig config;
   config.num_threads = OptThreads(args);
   config.num_shards = OptShards(args);
+  config.lookahead = OptLookahead(args);
   std::unique_ptr<ProgressiveEmitter> probe =
       MakeEmitter(method, dataset.value(), config);
   if (probe == nullptr) {
@@ -193,6 +213,12 @@ int CmdRun(const CliArgs& args) {
   if (config.num_shards > 1) {
     std::printf("sharded serving: %zu hash shards, merged emission\n",
                 config.num_shards);
+  }
+  if (config.lookahead > 0 && MethodHasBatchRefills(method)) {
+    std::printf("emission pipeline: lookahead %zu (refills produced ahead "
+                "of consumption%s)\n",
+                config.lookahead,
+                config.num_shards > 1 ? ", one producer per shard" : "");
   }
   std::printf("%s on %s: %zu/%zu matches after %llu comparisons "
               "(recall %.3f)\n",
@@ -231,7 +257,8 @@ int CmdRun(const CliArgs& args) {
 int CmdInspect(const CliArgs& args) {
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: sper_cli inspect <dataset> [--seed=N] "
-                         "[--scale=S] [--threads=N] [--shards=N]\n");
+                         "[--scale=S] [--threads=N] [--shards=N] "
+                         "[--lookahead=N]\n");
     return 2;
   }
   Result<DatasetBundle> dataset =
@@ -250,6 +277,11 @@ int CmdInspect(const CliArgs& args) {
   }
   std::printf("\n  matches |D_P|:  %zu\n", ds.truth.num_matches());
   std::printf("  mean |p|:       %.2f\n", ds.store.MeanProfileSize());
+  const std::size_t lookahead = OptLookahead(args);
+  std::printf("  serving:        threads=%zu shards=%zu lookahead=%zu "
+              "(%s emission)\n",
+              OptThreads(args), OptShards(args), lookahead,
+              lookahead > 0 ? "pipelined" : "serial");
 
   TokenWorkflowOptions workflow_options;
   workflow_options.num_threads = OptThreads(args);
