@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
       MethodConfig config;
       config.gs_wmax = wmax;
       RunResult run = evaluator.Run(
-          [&] { return MakeEmitter(MethodId::kGsPsn, cora.value(), config); });
+          [&] { return MakeResolver(MethodId::kGsPsn, cora.value(), config); });
       table.AddRow({std::to_string(wmax), FormatDouble(run.auc_norm[0], 3),
                     FormatDouble(run.auc_norm[1], 3),
                     FormatDouble(run.final_recall, 3),
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
       MethodConfig config;
       config.pps_kmax = kmax;
       RunResult run = evaluator.Run(
-          [&] { return MakeEmitter(MethodId::kPps, cora.value(), config); });
+          [&] { return MakeResolver(MethodId::kPps, cora.value(), config); });
       table.AddRow({std::to_string(kmax), FormatDouble(run.auc_norm[0], 3),
                     FormatDouble(run.auc_norm[1], 3),
                     FormatDouble(run.final_recall, 3)});
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
       SuffixForest forest =
           SuffixForest::Build(restaurant.value().store, config.suffix);
       RunResult run = evaluator.Run([&] {
-        return MakeEmitter(MethodId::kSaPsab, restaurant.value(), config);
+        return MakeResolver(MethodId::kSaPsab, restaurant.value(), config);
       });
       table.AddRow({std::to_string(lmin), FormatCount(forest.nodes().size()),
                     FormatCount(forest.TotalComparisons()),

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
         MethodConfig config = ConfigFor(target.dataset);
         config.scheme = scheme;
         RunResult run = evaluator.Run(
-            [&] { return MakeEmitter(id, dataset.value(), config); });
+            [&] { return MakeResolver(id, dataset.value(), config); });
         table.AddRow({std::string(ToString(id)), ToString(scheme),
                       FormatDouble(run.auc_norm[0], 3),
                       FormatDouble(run.auc_norm[1], 3),

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
         BlockCollection blocks =
             BuildTokenWorkflowBlocks(dataset.value().store, config.workflow);
         RunResult run = evaluator.Run([&] {
-          return MakeEmitter(MethodId::kPps, dataset.value(), config);
+          return MakeResolver(MethodId::kPps, dataset.value(), config);
         });
         table.AddRow({purging ? "on" : "off", filtering ? "on" : "off",
                       FormatCount(blocks.size()),

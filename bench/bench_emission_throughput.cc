@@ -48,8 +48,7 @@
 
 #include "bench_util.h"
 #include "datagen/datagen.h"
-#include "engine/progressive_engine.h"
-#include "engine/sharded_engine.h"
+#include "engine/resolver.h"
 #include "eval/table.h"
 
 namespace {
@@ -62,50 +61,22 @@ double Millis(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// One drained stream, reduced to a comparable digest.
-struct DrainResult {
-  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
-  std::uint64_t emitted = 0;
-  double wall_ms = 0.0;
+using sper::bench::DrainResult;
 
-  void Fold(const Comparison& c) {
-    const auto mix = [this](std::uint64_t v) {
-      digest ^= v;
-      digest *= 1099511628211ull;  // FNV-1a prime
-    };
-    mix(c.i);
-    mix(c.j);
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(c.weight));
-    std::memcpy(&bits, &c.weight, sizeof(bits));
-    mix(bits);
-    ++emitted;
-  }
-
-  bool SameStream(const DrainResult& other) const {
-    return digest == other.digest && emitted == other.emitted;
-  }
-};
-
-/// Builds the engine (ShardedEngine for shards > 1), then times the
-/// emission drain only — initialization is bench_parallel_scaling's job.
+/// Builds the resolver (Resolver::Create picks plain vs sharded vs
+/// pipelined), then times the emission drain only — initialization is
+/// bench_parallel_scaling's job.
 DrainResult RunOnce(const ProfileStore& store, MethodId method,
                     std::size_t threads, std::size_t shards,
                     std::size_t lookahead, std::uint64_t budget) {
-  std::unique_ptr<ProgressiveEmitter> engine;
-  EngineOptions options;
+  ResolverOptions options;
   options.method = method;
   options.num_threads = threads;
+  options.num_shards = shards;
   options.budget = budget;
   options.lookahead = lookahead;
-  if (shards > 1) {
-    ShardedEngineOptions sharded;
-    sharded.num_shards = shards;
-    sharded.engine = options;
-    engine = std::make_unique<ShardedEngine>(store, sharded);
-  } else {
-    engine = std::make_unique<ProgressiveEngine>(store, options);
-  }
+  std::unique_ptr<Resolver> engine =
+      sper::bench::CreateResolverOrDie(store, options);
 
   DrainResult result;
   const auto start = std::chrono::steady_clock::now();
@@ -114,16 +85,6 @@ DrainResult RunOnce(const ProfileStore& store, MethodId method,
   }
   result.wall_ms = Millis(start);
   return result;
-}
-
-std::vector<std::size_t> ParseList(const char* p) {
-  std::vector<std::size_t> out;
-  while (*p != '\0') {
-    out.push_back(std::strtoul(p, nullptr, 10));
-    while (*p != '\0' && *p != ',') ++p;
-    if (*p == ',') ++p;
-  }
-  return out;
 }
 
 }  // namespace
@@ -152,9 +113,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::strtoull(argv[i] + 9, nullptr, 10);
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
-      shard_counts = ParseList(argv[i] + 9);
+      shard_counts = sper::bench::ParseSizeList(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--lookahead=", 12) == 0) {
-      lookaheads = ParseList(argv[i] + 12);
+      lookaheads = sper::bench::ParseSizeList(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else {

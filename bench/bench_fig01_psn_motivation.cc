@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     ProgressiveEvaluator evaluator(dataset.value().truth, options);
     MethodConfig config = ConfigFor(name);
     RunResult run = evaluator.Run(
-        [&] { return MakeEmitter(MethodId::kPsn, dataset.value(), config); });
+        [&] { return MakeResolver(MethodId::kPsn, dataset.value(), config); });
     run.method = name;  // column = dataset (all runs are PSN)
     runs.push_back(std::move(run));
   }

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     std::vector<RunResult> runs;
     for (MethodId id : StructuredMethodSet()) {
       runs.push_back(evaluator.Run(
-          [&] { return MakeEmitter(id, dataset.value(), config); }));
+          [&] { return MakeResolver(id, dataset.value(), config); }));
     }
     PrintRecallTable(name + " (|P|=" + std::to_string(dataset.value().store.size()) +
                          ", |D_P|=" + std::to_string(dataset.value().truth.num_matches()) + ")",

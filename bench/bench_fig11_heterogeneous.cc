@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     for (MethodId id : HeterogeneousMethodSet()) {
       if (id == MethodId::kSaPsab && name != "movies") continue;
       runs.push_back(evaluator.Run(
-          [&] { return MakeEmitter(id, dataset.value(), config); }));
+          [&] { return MakeResolver(id, dataset.value(), config); }));
     }
     PrintRecallTable(
         name + " (|P1|=" + std::to_string(dataset.value().store.source1_size()) +

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     for (MethodId id : HeterogeneousMethodSet()) {
       if (id == MethodId::kSaPsab && name != "movies") continue;
       RunResult run = evaluator.Run(
-          [&] { return MakeEmitter(id, dataset.value(), config); });
+          [&] { return MakeResolver(id, dataset.value(), config); });
       per_method[id].push_back(run);
       runs.push_back(std::move(run));
     }

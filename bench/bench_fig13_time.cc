@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
                        "recall@end", "total (s)"});
       for (MethodId id : methods) {
         RunResult run = evaluator.Run(
-            [&] { return MakeEmitter(id, dataset.value(), config); },
+            [&] { return MakeResolver(id, dataset.value(), config); },
             match.get());
         if (id != MethodId::kSaPsn && match_name == "jaccard") {
           init_rows.push_back({name, run.method, run.init_seconds});

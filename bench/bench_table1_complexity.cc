@@ -27,7 +27,7 @@ Timing Measure(sper::MethodId id, const sper::DatasetBundle& dataset,
   t.profiles = dataset.store.size();
   const auto t0 = Clock::now();
   std::unique_ptr<sper::ProgressiveEmitter> emitter =
-      sper::MakeEmitter(id, dataset, config);
+      sper::MakeResolver(id, dataset, config);
   const auto t1 = Clock::now();
   t.init_seconds = std::chrono::duration<double>(t1 - t0).count();
 

@@ -5,14 +5,18 @@
 // parsing (--scale / --ecmax), per-dataset method configuration (the
 // paper's Sec. 7 parameter choices), recall-curve table printing.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "datagen/datagen.h"
+#include "engine/resolver.h"
 #include "eval/evaluator.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
@@ -43,6 +47,61 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
   return args;
 }
 
+/// One drained comparison stream reduced to a comparable digest: FNV-1a
+/// over every emitted (i, j, weight). Shared by the digest-checked
+/// serving benches (bench_emission_throughput, bench_resolver_session) —
+/// "match" in their tables means two drains folded to the same digest,
+/// i.e. bit-identical streams.
+struct DrainResult {
+  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+  std::uint64_t emitted = 0;
+  /// Requests issued by a session-batched drain; 0 for raw drains.
+  std::uint64_t requests = 0;
+  double wall_ms = 0.0;
+
+  void Fold(const Comparison& c) {
+    const auto mix = [this](std::uint64_t v) {
+      digest ^= v;
+      digest *= 1099511628211ull;  // FNV-1a prime
+    };
+    mix(c.i);
+    mix(c.j);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(c.weight));
+    std::memcpy(&bits, &c.weight, sizeof(bits));
+    mix(bits);
+    ++emitted;
+  }
+
+  bool SameStream(const DrainResult& other) const {
+    return digest == other.digest && emitted == other.emitted;
+  }
+};
+
+/// Parses a comma-separated size list flag value ("1,4,64").
+inline std::vector<std::size_t> ParseSizeList(const char* p) {
+  std::vector<std::size_t> out;
+  while (*p != '\0') {
+    out.push_back(std::strtoul(p, nullptr, 10));
+    while (*p != '\0' && *p != ',') ++p;
+    if (*p == ',') ++p;
+  }
+  return out;
+}
+
+/// Resolver::Create for bench binaries: prints the error Status and
+/// exits non-zero instead of returning it.
+inline std::unique_ptr<Resolver> CreateResolverOrDie(
+    const ProfileStore& store, const ResolverOptions& options) {
+  Result<std::unique_ptr<Resolver>> resolver =
+      Resolver::Create(store, options);
+  if (!resolver.ok()) {
+    std::fprintf(stderr, "%s\n", resolver.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(resolver).value();
+}
+
 /// One machine-readable measurement of a bench run. Serialized by
 /// WriteJsonRecords; the schema is documented in bench/BENCH.md.
 struct JsonRecord {
@@ -59,6 +118,9 @@ struct JsonRecord {
   std::size_t shards = 1;
   /// Emission pipeline lookahead of the run; 0 for serial-emission paths.
   std::size_t lookahead = 0;
+  /// ResolverSession request size of a session-batched drain
+  /// (bench_resolver_session); 0 for un-batched / non-session paths.
+  std::size_t batch_size = 0;
 };
 
 /// Escapes a string for embedding inside a JSON string literal: quotes,
@@ -112,11 +174,12 @@ inline bool WriteJsonRecords(const std::string& file,
     const JsonRecord& r = records[i];
     std::fprintf(out,
                  "  {\"dataset\": \"%s\", \"scale\": %g, \"threads\": %zu, "
-                 "\"shards\": %zu, \"lookahead\": %zu, \"path\": \"%s\", "
+                 "\"shards\": %zu, \"lookahead\": %zu, \"batch_size\": %zu, "
+                 "\"path\": \"%s\", "
                  "\"wall_ms\": %.3f, \"speedup\": %.3f}%s\n",
                  JsonEscape(r.dataset).c_str(), r.scale, r.threads, r.shards,
-                 r.lookahead, JsonEscape(r.path).c_str(), r.wall_ms,
-                 r.speedup, i + 1 < records.size() ? "," : "");
+                 r.lookahead, r.batch_size, JsonEscape(r.path).c_str(),
+                 r.wall_ms, r.speedup, i + 1 < records.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);

@@ -1,19 +1,21 @@
 // Clean-Clean ER across two heterogeneous sources: an IMDB-like and a
 // DBpedia-like movie catalog with different schemas (4 vs 7 attributes).
 // No schema alignment is performed — the schema-agnostic methods never
-// look at attribute names. PPS emits cross-source candidate pairs
-// best-first; progressive recall is reported at increasing budgets.
+// look at attribute names. A PPS Resolver serves cross-source candidate
+// pairs best-first; progressive recall is reported at increasing budgets,
+// each increment drawn as one pay-as-you-go request.
 //
 //   $ ./cross_source_linkage [scale]   (default 0.2 of the paper's 28k x 23k)
 
 #include <cstdio>
 #include <cstdlib>
-#include <optional>
+#include <memory>
+#include <unordered_set>
 
+#include "core/comparison.h"
 #include "datagen/datagen.h"
+#include "engine/resolver.h"
 #include "eval/table.h"
-#include "progressive/pps.h"
-#include "progressive/workflow.h"
 
 int main(int argc, char** argv) {
   using namespace sper;
@@ -31,32 +33,48 @@ int main(int argc, char** argv) {
   std::printf("source 2 (DBpedia-like): %zu films\n", store.source2_size());
   std::printf("true cross-source matches: %zu\n\n", truth.num_matches());
 
-  // The Token Blocking Workflow (Sec. 7): blocking + purging + filtering.
-  BlockCollection blocks = BuildTokenWorkflowBlocks(store);
+  // The Resolver runs the Token Blocking Workflow (Sec. 7: blocking +
+  // purging + filtering) and meta-blocking behind one factory call.
+  ResolverOptions options;
+  options.method = MethodId::kPps;
+  Result<std::unique_ptr<Resolver>> created =
+      Resolver::Create(store, options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Resolver> resolver = std::move(created).value();
   std::printf("workflow blocks: %zu (%llu candidate comparisons, vs %llu "
               "brute force)\n\n",
-              blocks.size(),
-              static_cast<unsigned long long>(blocks.AggregateCardinality()),
+              resolver->init_stats().num_blocks,
+              static_cast<unsigned long long>(
+                  resolver->init_stats().aggregate_cardinality),
               static_cast<unsigned long long>(
                   static_cast<std::uint64_t>(store.source1_size()) *
                   store.source2_size()));
 
-  PpsEmitter pps(store, blocks);
-
+  // Each budget increment is one request against the same long-lived
+  // resolver: the stream continues where the previous request stopped.
+  ResolverSession session = resolver->OpenSession();
   TextTable table({"ec* (comparisons / matches)", "recall"});
   const double num_matches = static_cast<double>(truth.num_matches());
-  std::size_t emitted = 0, found = 0;
+  // A method may emit the same pair more than once (emitter.h); recall
+  // counts *distinct* matched pairs, deduplicated via PairKey.
+  std::unordered_set<std::uint64_t> matched;
+  std::uint64_t emitted = 0;
   for (double target : {0.5, 1.0, 2.0, 5.0, 10.0}) {
-    const std::size_t ec_target =
-        static_cast<std::size_t>(target * num_matches);
-    while (emitted < ec_target) {
-      std::optional<Comparison> c = pps.Next();
-      if (!c.has_value()) break;
-      ++emitted;
-      if (truth.AreMatching(c->i, c->j)) ++found;
+    const std::uint64_t ec_target =
+        static_cast<std::uint64_t>(target * num_matches);
+    if (ec_target > emitted) {
+      ResolveResult batch = session.Resolve({ec_target - emitted, 0});
+      for (const Comparison& c : batch.comparisons) {
+        if (truth.AreMatching(c.i, c.j)) matched.insert(PairKey(c.i, c.j));
+      }
+      emitted += batch.comparisons.size();
     }
-    table.AddRow({FormatDouble(target, 1),
-                  FormatDouble(static_cast<double>(found) / num_matches, 3)});
+    table.AddRow(
+        {FormatDouble(target, 1),
+         FormatDouble(static_cast<double>(matched.size()) / num_matches, 3)});
   }
   table.Print();
   std::printf("\nMost matches arrive within the first ~1-2x|D_P| "

@@ -31,7 +31,7 @@ void Report(const sper::DatasetBundle& dataset, double ecstar_max) {
   for (MethodId id : {MethodId::kLsPsn, MethodId::kGsPsn, MethodId::kPbs,
                       MethodId::kPps}) {
     RunResult result = evaluator.Run(
-        [&] { return MakeEmitter(id, dataset, config); });
+        [&] { return MakeResolver(id, dataset, config); });
     table.AddRow({std::string(ToString(id)),
                   FormatDouble(result.auc_norm[0], 3),
                   FormatDouble(result.auc_norm[1], 3),

@@ -1,16 +1,16 @@
 // Quickstart: schema-agnostic progressive ER on the paper's own running
 // example (Fig. 3a) — six profiles from a "data lake" mixing relational,
 // RDF and free-text formats. No schema alignment, no configuration: build
-// the profiles, pick a method, pull comparisons best-first.
+// the profiles, create a Resolver, ask it for the best comparisons under
+// a pay-as-you-go budget.
 //
 //   $ ./quickstart
 
 #include <cstdio>
-#include <optional>
+#include <memory>
 
-#include "blocking/token_blocking.h"
 #include "core/profile_store.h"
-#include "progressive/pps.h"
+#include "engine/resolver.h"
 
 int main() {
   using namespace sper;
@@ -36,22 +36,36 @@ int main() {
 
   ProfileStore store = ProfileStore::MakeDirty(std::move(profiles));
 
-  // Schema-agnostic blocking: one block per attribute-value token — the
-  // attribute NAMES are never consulted, so format variety is irrelevant.
-  BlockCollection blocks = TokenBlocking(store);
-  std::printf("token blocking: %zu blocks, %llu comparisons in total\n",
-              blocks.size(),
-              static_cast<unsigned long long>(blocks.AggregateCardinality()));
+  // One call: the Resolver wires schema-agnostic Token Blocking,
+  // meta-blocking and the chosen progressive method (PPS by default) —
+  // the attribute NAMES are never consulted, so format variety is
+  // irrelevant. On six profiles the workflow's statistical steps are
+  // meaningless (purging drops any block bigger than 10% of |P|, i.e.
+  // all of them), so this toy run keeps the raw token blocks.
+  ResolverOptions options;
+  options.workflow.enable_purging = false;
+  options.workflow.enable_filtering = false;
+  Result<std::unique_ptr<Resolver>> created = Resolver::Create(store, options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Resolver> resolver = std::move(created).value();
+  std::printf("blocking workflow: %zu blocks, %llu comparisons in total\n",
+              resolver->init_stats().num_blocks,
+              static_cast<unsigned long long>(
+                  resolver->init_stats().aggregate_cardinality));
 
-  // Progressive Profile Scheduling: pull comparisons in decreasing
-  // estimated matching likelihood and stop whenever the budget runs out.
-  PpsEmitter pps(store, blocks);
+  // Pay-as-you-go: one request buys the 6 best comparisons, in decreasing
+  // estimated matching likelihood. The resolver keeps the stream's state —
+  // a later request would continue exactly where this one stopped.
+  ResolverSession session = resolver->OpenSession();
+  ResolveResult batch = session.Resolve({/*budget=*/6, /*max_batch=*/0});
   std::printf("\n%-4s %-12s %s\n", "#", "pair", "estimated likelihood");
   int rank = 0;
-  while (std::optional<Comparison> c = pps.Next()) {
-    std::printf("%-4d (p%u, p%u)%-4s %.4f\n", ++rank, c->i + 1, c->j + 1,
-                "", c->weight);
-    if (rank >= 6) break;  // pay-as-you-go: stop after 6 comparisons
+  for (const Comparison& c : batch.comparisons) {
+    std::printf("%-4d (p%u, p%u)%-4s %.4f\n", ++rank, c.i + 1, c.j + 1, "",
+                c.weight);
   }
 
   std::printf(

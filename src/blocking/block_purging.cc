@@ -1,5 +1,7 @@
 #include "blocking/block_purging.h"
 
+#include "parallel/parallel_for.h"
+
 namespace sper {
 
 BlockCollection BlockPurging(const BlockCollection& input,
@@ -7,15 +9,41 @@ BlockCollection BlockPurging(const BlockCollection& input,
                              const BlockPurgingOptions& options) {
   const double max_size =
       options.max_size_ratio * static_cast<double>(num_profiles);
-  // Sizing pass over the CSR offsets (O(|B|), no member scan), so the
-  // survivor collection is built with zero reallocations.
+  // Scan/threshold pass over the CSR offsets (O(|B|), no member scan):
+  // per-chunk survivor counts/sizes accumulated on `num_threads` threads
+  // with static chunking, merged in chunk order — the totals (and the
+  // final collection) are identical at every thread count. The survivor
+  // collection is then built with zero reallocations.
+  struct ChunkTotals {
+    std::size_t blocks = 0;
+    std::size_t members = 0;
+    std::size_t key_bytes = 0;
+  };
+  const std::size_t num_chunks =
+      StaticChunks(input.size(), options.num_threads).size();
+  std::vector<ChunkTotals> totals(num_chunks);
+  ParallelForChunks(
+      input.size(), options.num_threads,
+      [&](std::size_t chunk, IndexRange range) {
+        // Accumulate on the stack and store once: adjacent vector
+        // elements share cache lines, and bumping them per block would
+        // false-share the whole scan.
+        ChunkTotals t;
+        for (BlockId id = range.begin; id < range.end; ++id) {
+          if (static_cast<double>(input.block_size(id)) > max_size) continue;
+          ++t.blocks;
+          t.members += input.block_size(id);
+          t.key_bytes += input.key(id).size();
+        }
+        totals[chunk] = t;
+      });
   std::size_t kept_blocks = 0, kept_members = 0, kept_key_bytes = 0;
-  for (BlockId id = 0; id < input.size(); ++id) {
-    if (static_cast<double>(input.block_size(id)) > max_size) continue;
-    ++kept_blocks;
-    kept_members += input.block_size(id);
-    kept_key_bytes += input.key(id).size();
+  for (const ChunkTotals& t : totals) {
+    kept_blocks += t.blocks;
+    kept_members += t.members;
+    kept_key_bytes += t.key_bytes;
   }
+
   BlockCollection out(input.er_type(), input.split_index());
   out.Reserve(kept_blocks, kept_members, kept_key_bytes);
   for (BlockId id = 0; id < input.size(); ++id) {

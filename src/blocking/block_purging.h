@@ -14,6 +14,10 @@ namespace sper {
 struct BlockPurgingOptions {
   /// A block is purged when |b| > max_size_ratio * |P|.
   double max_size_ratio = 0.1;
+  /// Threads for the scan/threshold pass (survivor sizing + keep
+  /// decisions). The output collection is identical at every thread
+  /// count; the survivor build itself stays sequential (CSR append).
+  std::size_t num_threads = 1;
 };
 
 /// Returns a new collection without the purged blocks. `num_profiles` is

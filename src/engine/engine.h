@@ -1,0 +1,94 @@
+#ifndef SPER_ENGINE_ENGINE_H_
+#define SPER_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/comparison.h"
+#include "progressive/emitter.h"
+
+/// \file engine.h
+/// The abstract engine interface of the serving layer. Every engine —
+/// plain (`ProgressiveEngine`), sharded (`ShardedEngine`), and whatever
+/// comes next — is a `ProgressiveEmitter` plus the serving contract the
+/// `Resolver` builds on: a pay-as-you-go budget, an emission counter and
+/// unified initialization diagnostics. `BudgetedEngine` implements that
+/// contract once, so concrete engines only provide the unbudgeted stream.
+
+namespace sper {
+
+/// Aggregate facts about an engine's initialization phase, unified across
+/// plain and sharded engines (diagnostics / benches).
+struct InitStats {
+  /// Wall-clock seconds spent in the engine's constructor.
+  double init_seconds = 0.0;
+  /// |B| of the workflow collection, summed over shards (0 for the
+  /// sort-based methods).
+  std::size_t num_blocks = 0;
+  /// ||B|| of the workflow collection, summed over shards (0 for the
+  /// sort-based methods).
+  std::uint64_t aggregate_cardinality = 0;
+  /// Profiles per shard, in shard order; empty for an unsharded engine.
+  std::vector<std::size_t> shard_sizes;
+};
+
+/// The engine interface: a ranked comparison stream (Next/name, inherited
+/// from ProgressiveEmitter) plus budget accounting and init diagnostics.
+///
+/// Engines are NOT thread-safe: one consumer drains Next() at a time
+/// (`ResolverSession` serializes concurrent requests on top of this).
+class Engine : public ProgressiveEmitter {
+ public:
+  /// Comparisons emitted so far.
+  virtual std::uint64_t emitted() const = 0;
+
+  /// True once the configured pay-as-you-go budget has been spent (never
+  /// for budget 0, which means unlimited).
+  virtual bool BudgetExhausted() const = 0;
+
+  /// Initialization diagnostics.
+  virtual const InitStats& init_stats() const = 0;
+
+  /// Number of hash shards serving the stream (1 for a plain engine).
+  virtual std::size_t num_shards() const = 0;
+};
+
+/// Implements the budget and stats accounting of the Engine contract once:
+/// Next() charges the budget and counts emissions, concrete engines only
+/// implement NextUnbudgeted(). Derived constructors fill `stats_` and set
+/// `budget_` (0 = unlimited).
+class BudgetedEngine : public Engine {
+ public:
+  /// Emission phase: the next best comparison, honoring the budget.
+  std::optional<Comparison> Next() final {
+    if (BudgetExhausted()) return std::nullopt;
+    std::optional<Comparison> next = NextUnbudgeted();
+    if (next.has_value()) ++emitted_;
+    return next;
+  }
+
+  std::uint64_t emitted() const final { return emitted_; }
+
+  bool BudgetExhausted() const final {
+    return budget_ != 0 && emitted_ >= budget_;
+  }
+
+  const InitStats& init_stats() const final { return stats_; }
+
+ protected:
+  /// The next comparison of the underlying stream, ignoring the budget.
+  virtual std::optional<Comparison> NextUnbudgeted() = 0;
+
+  /// Filled by the derived constructor (the initialization phase).
+  InitStats stats_;
+  /// Maximum emissions before Next() returns nullopt; 0 = unlimited.
+  std::uint64_t budget_ = 0;
+
+ private:
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace sper
+
+#endif  // SPER_ENGINE_ENGINE_H_

@@ -64,6 +64,7 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
     : options_(std::move(options)) {
   const auto start = std::chrono::steady_clock::now();
   if (options_.num_threads == 0) options_.num_threads = 1;
+  budget_ = options_.budget;
 
   switch (options_.method) {
     case MethodId::kPsn:
@@ -166,12 +167,8 @@ std::optional<Comparison> ProgressiveEngine::PipelinedNext() {
   return front_->PopFirst();
 }
 
-std::optional<Comparison> ProgressiveEngine::Next() {
-  if (BudgetExhausted()) return std::nullopt;
-  std::optional<Comparison> next =
-      pipeline_ != nullptr ? PipelinedNext() : inner_->Next();
-  if (next.has_value()) ++emitted_;
-  return next;
+std::optional<Comparison> ProgressiveEngine::NextUnbudgeted() {
+  return pipeline_ != nullptr ? PipelinedNext() : inner_->Next();
 }
 
 }  // namespace sper

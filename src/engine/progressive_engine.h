@@ -8,6 +8,7 @@
 
 #include "core/profile_store.h"
 #include "core/types.h"
+#include "engine/engine.h"
 #include "engine/method.h"
 #include "parallel/emission_pipeline.h"
 #include "parallel/thread_pool.h"
@@ -37,6 +38,11 @@
 namespace sper {
 
 /// Everything the engine needs to run one progressive ER task.
+///
+/// DEPRECATED as a public surface: prefer `ResolverOptions` +
+/// `Resolver::Create` (engine/resolver.h), which validates the
+/// configuration and picks the engine implementation. EngineOptions
+/// remains as the internal per-engine configuration for one release.
 struct EngineOptions {
   /// Progressive method to run.
   MethodId method = MethodId::kPps;
@@ -80,20 +86,19 @@ struct EngineOptions {
   SchemaKeyFn schema_key;
 };
 
-/// Aggregate facts about the initialization phase (diagnostics / benches).
-struct EngineInitStats {
-  /// Wall-clock seconds spent in the constructor.
-  double init_seconds = 0.0;
-  /// |B| of the workflow collection (0 for sort-based methods).
-  std::size_t num_blocks = 0;
-  /// ||B|| of the workflow collection (0 for sort-based methods).
-  std::uint64_t aggregate_cardinality = 0;
-};
+/// DEPRECATED alias for the unified InitStats (engine/engine.h); kept for
+/// one release so existing callers keep compiling.
+using EngineInitStats = InitStats;
 
 /// Facade emitter: owns the inner method emitter and its inputs. Being a
 /// ProgressiveEmitter itself, it composes with every existing consumer
 /// (evaluator, benches, dedup loops).
-class ProgressiveEngine : public ProgressiveEmitter {
+///
+/// Direct construction is DEPRECATED as a public surface: prefer
+/// `Resolver::Create` (engine/resolver.h), which validates options and
+/// picks plain vs sharded serving; ProgressiveEngine remains the plain
+/// implementation behind that factory.
+class ProgressiveEngine : public BudgetedEngine {
  public:
   /// Initialization phase: builds blocking structures (in parallel when
   /// options.num_threads > 1) and the method emitter; with
@@ -109,29 +114,21 @@ class ProgressiveEngine : public ProgressiveEmitter {
   ProgressiveEngine(const ProfileStore& store, EngineOptions options,
                     ThreadPool* emission_pool = nullptr);
 
-  /// Emission phase: the next best comparison, honoring the budget.
-  std::optional<Comparison> Next() override;
-
   /// The inner method's acronym, e.g. "PPS".
   std::string_view name() const override { return inner_->name(); }
 
-  /// Comparisons emitted so far.
-  std::uint64_t emitted() const { return emitted_; }
-
-  /// True once the configured budget has been spent (never for budget 0).
-  bool BudgetExhausted() const {
-    return options_.budget != 0 && emitted_ >= options_.budget;
-  }
-
-  /// Initialization diagnostics.
-  const EngineInitStats& init_stats() const { return stats_; }
+  /// A plain engine serves one logical shard.
+  std::size_t num_shards() const override { return 1; }
 
  private:
+  /// The inner method's next comparison (pipelined or inline refills);
+  /// budget accounting lives in BudgetedEngine::Next().
+  std::optional<Comparison> NextUnbudgeted() override;
+
   /// Pops the next comparison off the pipeline's completed batches.
   std::optional<Comparison> PipelinedNext();
 
   EngineOptions options_;
-  EngineInitStats stats_;
   std::unique_ptr<ProgressiveEmitter> inner_;
   /// inner_ viewed through its refill-batch capability; nullptr for the
   /// sort-based methods.
@@ -144,7 +141,6 @@ class ProgressiveEngine : public ProgressiveEmitter {
   /// The ring slot Next() is draining (owned by the pipeline); caching it
   /// keeps ring synchronization off the per-comparison path.
   ComparisonList* front_ = nullptr;
-  std::uint64_t emitted_ = 0;
 };
 
 }  // namespace sper

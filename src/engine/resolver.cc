@@ -1,0 +1,129 @@
+#include "engine/resolver.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "engine/progressive_engine.h"
+#include "engine/sharded_engine.h"
+
+namespace sper {
+
+namespace {
+
+/// ResolverOptions -> the per-engine configuration the implementations
+/// take. Stays in one place so plain and sharded creation cannot drift.
+EngineOptions ToEngineOptions(const ResolverOptions& options) {
+  EngineOptions engine;
+  engine.method = options.method;
+  engine.num_threads = options.num_threads;
+  engine.budget = options.budget;
+  engine.lookahead = options.lookahead;
+  engine.workflow = options.workflow;
+  engine.scheme = options.scheme;
+  engine.pps_kmax = options.pps_kmax;
+  engine.gs_wmax = options.gs_wmax;
+  engine.suffix = options.suffix;
+  engine.list = options.list;
+  engine.schema_key = options.schema_key;
+  return engine;
+}
+
+}  // namespace
+
+Status ResolverOptions::Validate() const {
+  if (num_threads == 0 || num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "num_threads must be in [1, " + std::to_string(kMaxThreads) +
+        "], got " + std::to_string(num_threads));
+  }
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "num_shards must be in [1, " + std::to_string(kMaxShards) +
+        "], got " + std::to_string(num_shards));
+  }
+  if (lookahead > kMaxLookahead) {
+    return Status::InvalidArgument(
+        "lookahead must be <= " + std::to_string(kMaxLookahead) + ", got " +
+        std::to_string(lookahead));
+  }
+  if (method == MethodId::kPsn && schema_key == nullptr) {
+    return Status::InvalidArgument(
+        "method PSN requires a schema blocking key "
+        "(ResolverOptions::schema_key)");
+  }
+  if (method == MethodId::kPps && pps_kmax == 0) {
+    return Status::InvalidArgument("pps_kmax must be > 0 for method PPS");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Resolver>> Resolver::Create(const ProfileStore& store,
+                                                   ResolverOptions options) {
+  SPER_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<Engine> engine;
+  if (options.num_shards > 1) {
+    ShardedEngineOptions sharded;
+    sharded.num_shards = options.num_shards;
+    sharded.engine = ToEngineOptions(options);
+    engine = std::make_unique<ShardedEngine>(store, std::move(sharded));
+  } else {
+    engine =
+        std::make_unique<ProgressiveEngine>(store, ToEngineOptions(options));
+  }
+  return std::unique_ptr<Resolver>(
+      new Resolver(std::move(options), std::move(engine)));
+}
+
+ResolveResult Resolver::Serve(const ResolveRequest& request) {
+  ResolveResult result;
+  // Ticketed FIFO admission: the ticket is taken atomically on arrival,
+  // before the serve mutex, and the draw waits until every earlier ticket
+  // has been served — a fair ticket lock, so a request that arrives later
+  // (larger ticket) can never barge past an earlier one even if the OS
+  // hands it the mutex first.
+  result.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return now_serving_ == result.ticket; });
+
+  // Keep the admission queue live even if the draw throws (e.g.
+  // bad_alloc growing a huge slice): scope exit — declared after `lock`,
+  // so it runs while the mutex is still held — advances now_serving_ and
+  // wakes the next ticket instead of deadlocking every later request.
+  struct AdmissionGuard {
+    Resolver* resolver;
+    ~AdmissionGuard() {
+      ++resolver->now_serving_;
+      resolver->cv_.notify_all();
+    }
+  } guard{this};
+
+  std::uint64_t want = request.budget;
+  if (request.max_batch != 0) {
+    want = std::min<std::uint64_t>(want, request.max_batch);
+  }
+  // Cap the reservation: `want` is caller-controlled and may be "all of
+  // it"; the slice grows normally past the initial reservation.
+  result.comparisons.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(want, 65536)));
+  while (result.comparisons.size() < want) {
+    std::optional<Comparison> next = engine_->Next();
+    if (!next.has_value()) {
+      // nullopt is either the global budget running out mid-slice or the
+      // method running dry; tell the caller which.
+      if (engine_->BudgetExhausted()) {
+        result.budget_exhausted = true;
+      } else {
+        result.stream_exhausted = true;
+      }
+      break;
+    }
+    result.comparisons.push_back(*next);
+  }
+  // A request admitted after the global budget is spent (including a
+  // zero-budget probe) still learns so without drawing.
+  if (engine_->BudgetExhausted()) result.budget_exhausted = true;
+  return result;  // the guard admits the next ticket
+}
+
+}  // namespace sper

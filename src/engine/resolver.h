@@ -1,0 +1,262 @@
+#ifndef SPER_ENGINE_RESOLVER_H_
+#define SPER_ENGINE_RESOLVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "blocking/suffix_forest.h"
+#include "core/profile_store.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "engine/engine.h"
+#include "engine/method.h"
+#include "metablocking/edge_weighting.h"
+#include "progressive/workflow.h"
+#include "sorted/neighbor_list.h"
+
+/// \file resolver.h
+/// The unified serving API: one `Resolver` in front of every engine
+/// implementation, and `ResolverSession`s that serve pay-as-you-go
+/// resolve requests from its long-lived ranked stream.
+///
+/// The paper's consumer is a client that repeatedly asks a long-lived
+/// resolver for "the next best comparisons under my budget". This layer
+/// makes that the public surface:
+///
+///   - `ResolverOptions` is the one configuration struct (method, threads,
+///     shards, lookahead, global budget, method knobs) — validated with a
+///     clear error `Status` instead of silently falling back;
+///   - `Resolver::Create(store, options)` picks the implementation (plain
+///     `ProgressiveEngine`, `ShardedEngine` for `num_shards > 1`, each
+///     optionally running the emission pipeline for `lookahead > 0`) and
+///     returns it behind the abstract `Engine` interface;
+///   - `ResolverSession::Resolve(ResolveRequest)` draws a budgeted slice
+///     off the shared stream under ticketed FIFO admission: concurrent
+///     requests are admitted strictly in ticket order, and concatenating
+///     the per-request slices in ticket order is bit-identical to one
+///     un-batched drain of the same resolver.
+///
+/// Backpressure: with `lookahead > 0` the engine's emission pipeline keeps
+/// producing refill batches between requests, but only up to the bounded
+/// SPSC ring's `lookahead` slots — a slow consumer never buffers more than
+/// the ring, and a burst of requests is served from batches the producers
+/// already completed (see parallel/emission_pipeline.h).
+
+namespace sper {
+
+/// Everything a Resolver needs to serve one progressive ER task. This is
+/// the collapsed, validated successor of `EngineOptions` (plain) +
+/// `ShardedEngineOptions` (sharded).
+struct ResolverOptions {
+  /// Progressive method to run.
+  MethodId method = MethodId::kPps;
+
+  /// Threads for the initialization phase (token-index build, block
+  /// filtering, edge weighting; split across shard constructions when
+  /// sharded). Must be in [1, kMaxThreads] — 0 is rejected by Validate()
+  /// rather than silently meaning "one thread".
+  std::size_t num_threads = 1;
+
+  /// Hash shards. 1 = plain engine; > 1 partitions the store and serves
+  /// one engine per shard behind a deterministic k-way merged stream in
+  /// original profile ids. Must be in [1, kMaxShards].
+  std::size_t num_shards = 1;
+
+  /// Global pay-as-you-go budget: maximum comparisons the resolver will
+  /// emit across all requests and drains; 0 = unlimited.
+  std::uint64_t budget = 0;
+
+  /// Emission pipeline lookahead (per shard when sharded): how many
+  /// completed refill slots producers may run ahead of consumption; 0 =
+  /// the serial reference path. Applies to the batch-refilling methods
+  /// (PBS, PPS); the sort-based methods ignore it. The emitted stream is
+  /// bit-identical at every setting. Must be <= kMaxLookahead.
+  std::size_t lookahead = 0;
+
+  /// Blocking workflow for the equality-based methods (PBS, PPS).
+  TokenWorkflowOptions workflow;
+  /// Blocking-graph edge-weighting scheme for PBS/PPS.
+  WeightingScheme scheme = WeightingScheme::kArcs;
+  /// PPS comparisons retained per profile (PPS only; must be > 0).
+  std::size_t pps_kmax = 100;
+  /// GS-PSN window range.
+  std::size_t gs_wmax = 20;
+  /// SA-PSAB suffix forest parameters.
+  SuffixForestOptions suffix;
+  /// Neighbor List construction for the sort-based methods.
+  NeighborListOptions list;
+  /// Schema-based blocking key; required by kPsn, ignored otherwise.
+  SchemaKeyFn schema_key;
+
+  /// Validation bounds (shared with the CLI's strict flag parsing).
+  static constexpr std::size_t kMaxThreads = 256;
+  static constexpr std::size_t kMaxShards = 1024;
+  static constexpr std::size_t kMaxLookahead = 4096;
+
+  /// OK iff the configuration is servable; otherwise an InvalidArgument
+  /// Status naming the offending field. Called by Resolver::Create.
+  Status Validate() const;
+};
+
+/// One pay-as-you-go request against a ResolverSession.
+struct ResolveRequest {
+  /// Comparisons this request pays for: the returned slice holds at most
+  /// this many. Unlike ResolverOptions::budget, 0 here buys nothing — a
+  /// zero-budget request is admitted (it takes a ticket) but returns an
+  /// empty slice without consuming the stream.
+  std::uint64_t budget = 0;
+
+  /// Response size cap: the slice additionally holds at most this many
+  /// comparisons (a network frontend's message bound). 0 = no cap beyond
+  /// `budget`. Budget beyond the cap is NOT spent — pay only for what is
+  /// delivered.
+  std::size_t max_batch = 0;
+};
+
+/// One served slice of the resolver's ranked stream.
+struct ResolveResult {
+  /// FIFO admission ticket: slices concatenated in ticket order are
+  /// bit-identical to one un-batched drain. Tickets are dense, starting
+  /// at 0 per resolver.
+  std::uint64_t ticket = 0;
+
+  /// The next best comparisons, in global emission order; at most
+  /// min(budget, max_batch) of them. Shorter (possibly empty) when the
+  /// stream ran dry or the resolver's global budget ran out mid-slice.
+  std::vector<Comparison> comparisons;
+
+  /// The underlying method ran out of comparisons during this slice.
+  bool stream_exhausted = false;
+
+  /// The resolver's global budget (ResolverOptions::budget) ran out
+  /// during, or before, this slice.
+  bool budget_exhausted = false;
+};
+
+class ResolverSession;
+
+/// The unified serving facade: owns one Engine picked by Create() and the
+/// FIFO admission state its sessions serve under. Being a
+/// ProgressiveEmitter, a Resolver still composes with every streaming
+/// consumer (evaluator, benches) as a plain un-batched drain.
+///
+/// Thread-safety: Serve() may be called from any number of threads. A
+/// ResolverSession's own accounting is NOT synchronized — give each
+/// concurrent client its own session (sessions are lightweight; all of
+/// them share this resolver's stream and admission order). Next() is a
+/// single-consumer drain and must not be interleaved with concurrent
+/// Serve() calls.
+class Resolver : public ProgressiveEmitter {
+ public:
+  /// Validates `options`, builds the matching engine (plain for one
+  /// shard, sharded otherwise; pipelined emission when lookahead > 0)
+  /// and wraps it. Returns InvalidArgument without touching the store
+  /// when validation fails.
+  ///
+  /// Lifetime: the store must outlive the resolver. (With num_shards > 1
+  /// the shards copy their profiles and only construction reads the
+  /// store, but the plain engine keeps references into it for its whole
+  /// emission phase — see ProgressiveEmitter's lifetime note — so the
+  /// portable contract is store-outlives-resolver.)
+  static Result<std::unique_ptr<Resolver>> Create(const ProfileStore& store,
+                                                  ResolverOptions options);
+
+  /// Un-batched drain: the globally next best comparison, honoring the
+  /// global budget. Equivalent to engine().Next().
+  std::optional<Comparison> Next() override { return engine_->Next(); }
+
+  /// The underlying method's acronym, e.g. "PPS".
+  std::string_view name() const override { return engine_->name(); }
+
+  /// The engine behind the resolver, through the abstract interface.
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+  /// Comparisons emitted so far (requests + drains combined).
+  std::uint64_t emitted() const { return engine_->emitted(); }
+
+  /// True once the global budget has been spent (never for budget 0).
+  bool BudgetExhausted() const { return engine_->BudgetExhausted(); }
+
+  /// Unified initialization diagnostics of the underlying engine.
+  const InitStats& init_stats() const { return engine_->init_stats(); }
+
+  /// Shards serving the stream (1 for a plain engine).
+  std::size_t num_shards() const { return engine_->num_shards(); }
+
+  /// The validated configuration the resolver was created with.
+  const ResolverOptions& options() const { return options_; }
+
+  /// Opens a serving session. Sessions are lightweight handles: any
+  /// number may be open at once, all sharing this resolver's stream and
+  /// FIFO admission order. The resolver must outlive its sessions.
+  ResolverSession OpenSession();
+
+  /// Serves one request (ResolverSession::Resolve delegates here): takes
+  /// the next admission ticket, waits until every earlier ticket has been
+  /// served, then draws up to min(budget, max_batch) comparisons off the
+  /// shared stream. Blocking; safe from concurrent threads.
+  ResolveResult Serve(const ResolveRequest& request);
+
+ private:
+  Resolver(ResolverOptions options, std::unique_ptr<Engine> engine)
+      : options_(std::move(options)), engine_(std::move(engine)) {}
+
+  ResolverOptions options_;
+  std::unique_ptr<Engine> engine_;
+
+  /// Ticketed FIFO admission over the shared stream. The ticket is taken
+  /// atomically on arrival — *before* the serve mutex — so admission
+  /// order is arrival order even when the mutex itself would let a later
+  /// caller barge past a longer-waiting one; `cv_` then admits waiters
+  /// strictly in ticket order.
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t now_serving_ = 0;
+};
+
+/// A client's handle on a Resolver's stream: per-session accounting over
+/// the resolver's shared ticketed FIFO admission. Copyable/movable;
+/// sessions hold no stream state of their own (the scheduler — the
+/// resolver — owns the cursor, per the serving framing of progressive
+/// ER). The accounting counters are not synchronized: one session per
+/// concurrent client (see the Resolver thread-safety note).
+class ResolverSession {
+ public:
+  /// The resolver must outlive the session.
+  explicit ResolverSession(Resolver& resolver) : resolver_(&resolver) {}
+
+  /// Serves one pay-as-you-go request; see Resolver::Serve.
+  ResolveResult Resolve(const ResolveRequest& request) {
+    ResolveResult result = resolver_->Serve(request);
+    ++requests_served_;
+    delivered_ += result.comparisons.size();
+    return result;
+  }
+
+  /// Requests this session has served (including empty slices).
+  std::uint64_t requests_served() const { return requests_served_; }
+
+  /// Comparisons this session has delivered across all requests.
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  Resolver* resolver_;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+inline ResolverSession Resolver::OpenSession() {
+  return ResolverSession(*this);
+}
+
+}  // namespace sper
+
+#endif  // SPER_ENGINE_RESOLVER_H_

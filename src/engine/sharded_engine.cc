@@ -28,6 +28,7 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
   const auto start = std::chrono::steady_clock::now();
   if (options_.num_shards == 0) options_.num_shards = 1;
   if (options_.engine.num_threads == 0) options_.engine.num_threads = 1;
+  budget_ = options_.engine.budget;
 
   shards_ = PartitionStore(store, options_.num_shards);
   engines_.resize(shards_.size());
@@ -114,11 +115,8 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
           .count();
 }
 
-std::optional<Comparison> ShardedEngine::Next() {
-  if (BudgetExhausted()) return std::nullopt;
-  std::optional<Comparison> next = merge_.Next();
-  if (next.has_value()) ++emitted_;
-  return next;
+std::optional<Comparison> ShardedEngine::NextUnbudgeted() {
+  return merge_.Next();
 }
 
 std::string_view ShardedEngine::name() const {

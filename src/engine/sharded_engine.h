@@ -10,6 +10,7 @@
 #include "core/comparison.h"
 #include "core/profile_store.h"
 #include "core/store_partition.h"
+#include "engine/engine.h"
 #include "engine/progressive_engine.h"
 #include "parallel/ordered_merge.h"
 #include "parallel/thread_pool.h"
@@ -42,6 +43,10 @@
 namespace sper {
 
 /// Configuration of a sharded run.
+///
+/// DEPRECATED as a public surface: prefer `ResolverOptions` +
+/// `Resolver::Create` (engine/resolver.h), whose single options struct
+/// covers plain and sharded serving with validation. Kept for one release.
 struct ShardedEngineOptions {
   /// Number of hash shards; 0 and 1 both mean "one shard".
   std::size_t num_shards = 1;
@@ -59,51 +64,36 @@ struct ShardedEngineOptions {
   EngineOptions engine;
 };
 
-/// Aggregate initialization facts across all shards.
-struct ShardedInitStats {
-  /// Wall-clock seconds of the whole sharded initialization.
-  double init_seconds = 0.0;
-  /// Sum of per-shard workflow block counts.
-  std::size_t num_blocks = 0;
-  /// Sum of per-shard aggregate cardinalities.
-  std::uint64_t aggregate_cardinality = 0;
-  /// Profiles per shard, shard order.
-  std::vector<std::size_t> shard_sizes;
-};
+/// DEPRECATED alias for the unified InitStats (engine/engine.h); kept for
+/// one release so existing callers keep compiling.
+using ShardedInitStats = InitStats;
 
 /// One ProgressiveEngine per hash shard behind a deterministic k-way
 /// merged stream, expressed in the original store's profile ids.
-class ShardedEngine : public ProgressiveEmitter {
+///
+/// Direct construction is DEPRECATED as a public surface: prefer
+/// `Resolver::Create` with `ResolverOptions::num_shards > 1`
+/// (engine/resolver.h); ShardedEngine remains the sharded implementation
+/// behind that factory.
+class ShardedEngine : public BudgetedEngine {
  public:
   /// Partitions the store, then constructs the per-shard engines
   /// concurrently on a ThreadPool. The store must outlive the engine
   /// only for construction; shards own copies of their profiles.
   ShardedEngine(const ProfileStore& store, ShardedEngineOptions options);
 
-  /// The globally next best comparison (original ids), honoring the
-  /// global budget.
-  std::optional<Comparison> Next() override;
-
   /// The underlying method's acronym, e.g. "PPS".
   std::string_view name() const override;
 
   /// Number of shards (== options.num_shards, at least 1).
-  std::size_t num_shards() const { return shards_.size(); }
-
-  /// Comparisons emitted so far across all shards.
-  std::uint64_t emitted() const { return emitted_; }
-
-  /// True once the global budget has been spent (never for budget 0).
-  bool BudgetExhausted() const {
-    return options_.engine.budget != 0 && emitted_ >= options_.engine.budget;
-  }
-
-  /// Aggregate initialization diagnostics.
-  const ShardedInitStats& init_stats() const { return stats_; }
+  std::size_t num_shards() const override { return shards_.size(); }
 
  private:
+  /// The globally next best comparison (original ids) off the k-way
+  /// merge; the global budget is charged in BudgetedEngine::Next().
+  std::optional<Comparison> NextUnbudgeted() override;
+
   ShardedEngineOptions options_;
-  ShardedInitStats stats_;
   std::vector<StoreShard> shards_;
   // Hosts the per-shard emission-pipeline producers (lookahead > 0): one
   // worker per non-barren shard, so no producer ever waits for a worker —
@@ -113,7 +103,6 @@ class ShardedEngine : public ProgressiveEmitter {
   std::unique_ptr<ThreadPool> emission_pool_;
   std::vector<std::unique_ptr<ProgressiveEngine>> engines_;
   KWayMerge<Comparison, ByWeightDesc> merge_;
-  std::uint64_t emitted_ = 0;
 };
 
 }  // namespace sper

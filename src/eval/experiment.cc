@@ -1,17 +1,18 @@
 #include "eval/experiment.h"
 
-#include "engine/progressive_engine.h"
-#include "engine/sharded_engine.h"
+#include <algorithm>
+#include <cstdio>
+#include <utility>
 
 namespace sper {
 
-std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
-                                                const DatasetBundle& dataset,
-                                                const MethodConfig& config) {
-  if (id == MethodId::kPsn && !dataset.psn_key) return nullptr;
-  EngineOptions options;
+ResolverOptions ToResolverOptions(MethodId id, const DatasetBundle& dataset,
+                                  const MethodConfig& config) {
+  ResolverOptions options;
   options.method = id;
   options.num_threads = config.num_threads;
+  options.num_shards = config.num_shards;
+  options.budget = config.budget;
   options.lookahead = config.lookahead;
   options.workflow = config.workflow;
   options.scheme = config.scheme;
@@ -20,15 +21,40 @@ std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
   options.suffix = config.suffix;
   options.list = config.list;
   options.schema_key = dataset.psn_key;
-  if (config.num_shards > 1) {
-    ShardedEngineOptions sharded;
-    sharded.num_shards = config.num_shards;
-    sharded.engine = std::move(options);
-    return std::make_unique<ShardedEngine>(dataset.store,
-                                           std::move(sharded));
+  // MethodConfig is the old lenient surface (the engines historically
+  // accepted any thread/shard count, with 0 meaning one); ResolverOptions
+  // validates instead, so normalize into range here at the boundary —
+  // MakeResolver must not start rejecting configs MakeEmitter ran.
+  if (options.num_threads == 0) options.num_threads = 1;
+  if (options.num_shards == 0) options.num_shards = 1;
+  options.num_threads =
+      std::min(options.num_threads, ResolverOptions::kMaxThreads);
+  options.num_shards = std::min(options.num_shards, ResolverOptions::kMaxShards);
+  options.lookahead = std::min(options.lookahead, ResolverOptions::kMaxLookahead);
+  return options;
+}
+
+std::unique_ptr<Resolver> MakeResolver(MethodId id,
+                                       const DatasetBundle& dataset,
+                                       const MethodConfig& config) {
+  if (id == MethodId::kPsn && !dataset.psn_key) return nullptr;
+  Result<std::unique_ptr<Resolver>> resolver =
+      Resolver::Create(dataset.store, ToResolverOptions(id, dataset, config));
+  if (!resolver.ok()) {
+    // Only reachable for degenerate method knobs (e.g. pps_kmax = 0);
+    // the serving-shape knobs are normalized above. Name the reason
+    // before the check aborts.
+    std::fprintf(stderr, "MakeResolver: %s\n",
+                 resolver.status().ToString().c_str());
+    SPER_CHECK(false && "MethodConfig produced an invalid resolver");
   }
-  return std::make_unique<ProgressiveEngine>(dataset.store,
-                                             std::move(options));
+  return std::move(resolver).value();
+}
+
+std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
+                                                const DatasetBundle& dataset,
+                                                const MethodConfig& config) {
+  return MakeResolver(id, dataset, config);
 }
 
 const std::vector<MethodId>& StructuredMethodSet() {

@@ -8,6 +8,7 @@
 #include "blocking/suffix_forest.h"
 #include "datagen/dataset.h"
 #include "engine/method.h"
+#include "engine/resolver.h"
 #include "metablocking/edge_weighting.h"
 #include "progressive/emitter.h"
 #include "progressive/workflow.h"
@@ -17,8 +18,8 @@
 /// Method registry for the benchmark harness: constructs any of the
 /// paper's seven progressive methods against a DatasetBundle with one
 /// shared configuration (the paper's Sec. 7 "Parameter configuration").
-/// MethodId itself lives in engine/method.h; emitters are built through
-/// the ProgressiveEngine facade.
+/// MethodId itself lives in engine/method.h; resolvers are built through
+/// the unified Resolver serving API (engine/resolver.h).
 
 namespace sper {
 
@@ -42,17 +43,34 @@ struct MethodConfig {
   /// Hash shards for sharded serving (>1 routes through ShardedEngine:
   /// one engine per shard, globally merged emission in original ids).
   std::size_t num_shards = 1;
-  /// Emission pipeline lookahead (EngineOptions::lookahead): 0 = serial
+  /// Emission pipeline lookahead (ResolverOptions::lookahead): 0 = serial
   /// reference emission; > 0 overlaps refill production with consumption
   /// (per shard when sharded) with a bit-identical emitted sequence.
   std::size_t lookahead = 0;
+  /// Global pay-as-you-go budget (ResolverOptions::budget): maximum
+  /// comparisons emitted across the whole run; 0 = unlimited.
+  std::uint64_t budget = 0;
 };
 
-/// Builds the requested emitter on the dataset via the ProgressiveEngine
-/// facade. The construction cost is the method's full initialization
-/// phase, including blocking for the equality-based methods. Returns
-/// nullptr for PSN on datasets without a literature blocking key (the
-/// heterogeneous ones).
+/// The ResolverOptions equivalent of a MethodConfig for one method on one
+/// dataset (the dataset supplies the PSN schema key). MethodConfig is the
+/// old lenient surface: out-of-range thread/shard/lookahead values are
+/// normalized into ResolverOptions' validated ranges rather than
+/// rejected, so every config MakeEmitter used to run keeps running.
+ResolverOptions ToResolverOptions(MethodId id, const DatasetBundle& dataset,
+                                  const MethodConfig& config);
+
+/// Builds the requested resolver on the dataset via Resolver::Create. The
+/// construction cost is the method's full initialization phase, including
+/// blocking for the equality-based methods. Returns nullptr for PSN on
+/// datasets without a literature blocking key (the heterogeneous ones);
+/// degenerate method knobs (e.g. pps_kmax = 0) abort with the Create()
+/// error printed.
+std::unique_ptr<Resolver> MakeResolver(MethodId id,
+                                       const DatasetBundle& dataset,
+                                       const MethodConfig& config);
+
+/// DEPRECATED: thin shim over MakeResolver, kept for one release.
 std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
                                                 const DatasetBundle& dataset,
                                                 const MethodConfig& config);

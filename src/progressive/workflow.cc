@@ -8,7 +8,9 @@ BlockCollection BuildTokenWorkflowBlocks(const ProfileStore& store,
   token_blocking.num_threads = options.num_threads;
   BlockCollection blocks = TokenBlocking(store, token_blocking);
   if (options.enable_purging) {
-    blocks = BlockPurging(blocks, store.size(), options.purging);
+    BlockPurgingOptions purging = options.purging;
+    purging.num_threads = options.num_threads;
+    blocks = BlockPurging(blocks, store.size(), purging);
   }
   if (options.enable_filtering) {
     BlockFilteringOptions filtering = options.filtering;

@@ -25,9 +25,9 @@ struct TokenWorkflowOptions {
   /// Disable individual steps (used by the workflow ablation bench).
   bool enable_purging = true;
   bool enable_filtering = true;
-  /// Threads for the parallelizable steps (token blocking, filtering).
-  /// Overrides the per-step num_threads knobs; the collection is
-  /// identical at every thread count.
+  /// Threads for the parallelizable steps (token blocking, purging's
+  /// scan/threshold pass, filtering). Overrides the per-step num_threads
+  /// knobs; the collection is identical at every thread count.
   std::size_t num_threads = 1;
 };
 

@@ -50,9 +50,9 @@ TEST_P(MethodDeterminismTest, SameSeedSameEmissionSequence) {
   ASSERT_TRUE(a.ok() && b.ok());
   MethodConfig config;
   std::unique_ptr<ProgressiveEmitter> ea =
-      MakeEmitter(GetParam(), a.value(), config);
+      MakeResolver(GetParam(), a.value(), config);
   std::unique_ptr<ProgressiveEmitter> eb =
-      MakeEmitter(GetParam(), b.value(), config);
+      MakeResolver(GetParam(), b.value(), config);
   ASSERT_TRUE(ea != nullptr && eb != nullptr);
   ExpectSameSequence(Drain(ea.get(), 2000), Drain(eb.get(), 2000));
 }
@@ -62,9 +62,9 @@ TEST_P(MethodDeterminismTest, TwoEmittersOnOneStoreAgree) {
   ASSERT_TRUE(dataset.ok());
   MethodConfig config;
   std::unique_ptr<ProgressiveEmitter> ea =
-      MakeEmitter(GetParam(), dataset.value(), config);
+      MakeResolver(GetParam(), dataset.value(), config);
   std::unique_ptr<ProgressiveEmitter> eb =
-      MakeEmitter(GetParam(), dataset.value(), config);
+      MakeResolver(GetParam(), dataset.value(), config);
   ExpectSameSequence(Drain(ea.get(), 2000), Drain(eb.get(), 2000));
 }
 
@@ -202,7 +202,7 @@ TEST(DeterminismTest, EvaluatorRecallIsRunInvariant) {
   ProgressiveEvaluator evaluator(dataset.value().truth, options);
   MethodConfig config;
   auto factory = [&] {
-    return MakeEmitter(MethodId::kPps, dataset.value(), config);
+    return MakeResolver(MethodId::kPps, dataset.value(), config);
   };
   RunResult a = evaluator.Run(factory);
   RunResult b = evaluator.Run(factory);

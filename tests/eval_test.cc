@@ -165,13 +165,13 @@ TEST(ExperimentTest, MethodNamesMatchThePaper) {
   EXPECT_EQ(ToString(MethodId::kPps), "PPS");
 }
 
-TEST(ExperimentTest, MakeEmitterBuildsEveryMethodOnCensus) {
+TEST(ExperimentTest, MakeResolverBuildsEveryMethodOnCensus) {
   Result<DatasetBundle> dataset = GenerateDataset("census");
   ASSERT_TRUE(dataset.ok());
   MethodConfig config;
   for (MethodId id : StructuredMethodSet()) {
     std::unique_ptr<ProgressiveEmitter> emitter =
-        MakeEmitter(id, dataset.value(), config);
+        MakeResolver(id, dataset.value(), config);
     ASSERT_TRUE(emitter != nullptr) << ToString(id);
     EXPECT_EQ(emitter->name(), ToString(id));
     EXPECT_TRUE(emitter->Next().has_value()) << ToString(id);
@@ -184,7 +184,7 @@ TEST(ExperimentTest, PsnIsUnavailableWithoutASchemaKey) {
   Result<DatasetBundle> dataset = GenerateDataset("movies", options);
   ASSERT_TRUE(dataset.ok());
   MethodConfig config;
-  EXPECT_EQ(MakeEmitter(MethodId::kPsn, dataset.value(), config), nullptr);
+  EXPECT_EQ(MakeResolver(MethodId::kPsn, dataset.value(), config), nullptr);
 }
 
 TEST(ExperimentTest, MethodSetsMatchTheFigures) {

@@ -24,7 +24,7 @@ RunResult RunMethod(MethodId id, const DatasetBundle& dataset,
   ProgressiveEvaluator evaluator(dataset.truth, options);
   MethodConfig config;
   return evaluator.Run(
-      [&] { return MakeEmitter(id, dataset, config); });
+      [&] { return MakeResolver(id, dataset, config); });
 }
 
 TEST(IntegrationTest, AllMethodsFindMatchesOnRestaurant) {
@@ -85,9 +85,9 @@ TEST(IntegrationTest, SimilarityMethodsDegradeOnUriData) {
   ProgressiveEvaluator evaluator(dataset.value().truth, options);
 
   RunResult pbs = evaluator.Run(
-      [&] { return MakeEmitter(MethodId::kPbs, dataset.value(), config); });
+      [&] { return MakeResolver(MethodId::kPbs, dataset.value(), config); });
   RunResult ls = evaluator.Run(
-      [&] { return MakeEmitter(MethodId::kLsPsn, dataset.value(), config); });
+      [&] { return MakeResolver(MethodId::kLsPsn, dataset.value(), config); });
   EXPECT_GT(pbs.auc_norm[1], ls.auc_norm[1]);
 }
 
@@ -101,7 +101,7 @@ TEST(IntegrationTest, EvaluatorTimingFieldsArePopulated) {
   ProgressiveEvaluator evaluator(dataset.value().truth, options);
   MethodConfig config;
   RunResult result = evaluator.Run(
-      [&] { return MakeEmitter(MethodId::kPps, dataset.value(), config); },
+      [&] { return MakeResolver(MethodId::kPps, dataset.value(), config); },
       &match);
   EXPECT_GT(result.init_seconds, 0.0);
   EXPECT_GT(result.emission_seconds, 0.0);

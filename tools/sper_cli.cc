@@ -9,7 +9,7 @@
 //
 //   sper_cli run <dataset> --method=NAME [--seed=N] [--scale=S]
 //                [--ecmax=E] [--threads=N] [--shards=N] [--lookahead=N]
-//                [--curve=FILE.csv]
+//                [--budget=N] [--curve=FILE.csv]
 //       Run one progressive method under the paper's evaluation protocol;
 //       print the recall curve and AUC*, optionally dump the curve as CSV.
 //       --threads parallelizes the initialization phase (same output at
@@ -19,8 +19,13 @@
 //       ahead of consumption, up to N queue slots of >=256 comparisons
 //       each (per shard when sharded), bit-identical to the serial
 //       stream; 0 keeps the serial reference path. Defaults to 0 for
-//       --threads=1 and 4 otherwise.
+//       --threads=1 and 4 otherwise. --budget=N caps the run at N
+//       emitted comparisons (the pay-as-you-go budget,
+//       ResolverOptions::budget; 0 = unlimited).
 //       Method names are case-insensitive ("pps" == "PPS").
+//       Flags are parsed strictly: a malformed or out-of-range value
+//       (e.g. --threads=abc) and an unrecognized flag name (e.g.
+//       --buget=100) are errors, never a silent fallback.
 //
 //   sper_cli inspect <dataset> [--seed=N] [--scale=S] [--threads=N]
 //                    [--shards=N] [--lookahead=N]
@@ -28,15 +33,22 @@
 //       --shards adds the per-shard partition breakdown; --lookahead is
 //       reported as part of the serving configuration.
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
+#include <limits>
 #include <map>
 #include <string>
 
 #include "core/store_partition.h"
 #include "datagen/datagen.h"
+#include "engine/resolver.h"
 #include "eval/evaluator.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
@@ -71,10 +83,70 @@ CliArgs Parse(int argc, char** argv) {
   return args;
 }
 
+// Strict flag parsing: a malformed value ("--threads=abc"), junk after
+// the number ("--scale=1.5x"), an out-of-range value, or an unrecognized
+// flag name ("--buget=100") is an error printed to stderr with exit(2) —
+// never a silent 0/clamp/ignore fallback.
+
+void RequireKnownOptions(const CliArgs& args,
+                         std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : args.options) {
+    bool recognized = false;
+    for (const char* k : known) {
+      if (key == k) {
+        recognized = true;
+        break;
+      }
+    }
+    if (!recognized) {
+      std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+[[noreturn]] void DieBadFlag(const std::string& key, const std::string& value,
+                             const std::string& expected) {
+  std::fprintf(stderr, "invalid --%s=%s (expected %s)\n", key.c_str(),
+               value.c_str(), expected.c_str());
+  std::exit(2);
+}
+
+std::uint64_t OptUint(const CliArgs& args, const std::string& key,
+                      std::uint64_t fallback, std::uint64_t min_value,
+                      std::uint64_t max_value) {
+  auto it = args.options.find(key);
+  if (it == args.options.end()) return fallback;
+  const std::string& text = it->second;
+  const std::string expected = "an integer in [" + std::to_string(min_value) +
+                               ", " + std::to_string(max_value) + "]";
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    DieBadFlag(key, text, expected);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size() ||
+      parsed < min_value || parsed > max_value) {
+    DieBadFlag(key, text, expected);
+  }
+  return parsed;
+}
+
 double OptDouble(const CliArgs& args, const std::string& key,
                  double fallback) {
   auto it = args.options.find(key);
-  return it == args.options.end() ? fallback : std::atof(it->second.c_str());
+  if (it == args.options.end()) return fallback;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (text.empty() || errno == ERANGE ||
+      end != text.c_str() + text.size() || !std::isfinite(parsed) ||
+      parsed <= 0.0) {
+    DieBadFlag(key, text, "a finite number > 0");
+  }
+  return parsed;
 }
 
 std::string OptString(const CliArgs& args, const std::string& key,
@@ -84,20 +156,11 @@ std::string OptString(const CliArgs& args, const std::string& key,
 }
 
 std::size_t OptThreads(const CliArgs& args) {
-  // Clamp before the size_t cast: a negative double -> size_t conversion
-  // is UB, and an absurd count would be passed straight into allocation
-  // and thread-spawn sizes.
-  double threads = OptDouble(args, "threads", 1);
-  if (!(threads >= 1)) threads = 1;
-  if (threads > 256) threads = 256;
-  return static_cast<std::size_t>(threads);
+  return OptUint(args, "threads", 1, 1, ResolverOptions::kMaxThreads);
 }
 
 std::size_t OptShards(const CliArgs& args) {
-  double shards = OptDouble(args, "shards", 1);
-  if (!(shards >= 1)) shards = 1;
-  if (shards > 1024) shards = 1024;
-  return static_cast<std::size_t>(shards);
+  return OptUint(args, "shards", 1, 1, ResolverOptions::kMaxShards);
 }
 
 std::size_t OptLookahead(const CliArgs& args) {
@@ -105,16 +168,20 @@ std::size_t OptLookahead(const CliArgs& args) {
   // --threads=1. Multi-threaded runs default to a small pipeline
   // lookahead (the stream is bit-identical either way); an explicit
   // --lookahead=0 always forces the serial path.
-  const double fallback = OptThreads(args) > 1 ? 4 : 0;
-  double lookahead = OptDouble(args, "lookahead", fallback);
-  if (!(lookahead >= 0)) lookahead = 0;
-  if (lookahead > 4096) lookahead = 4096;
-  return static_cast<std::size_t>(lookahead);
+  const std::uint64_t fallback = OptThreads(args) > 1 ? 4 : 0;
+  return OptUint(args, "lookahead", fallback, 0,
+                 ResolverOptions::kMaxLookahead);
+}
+
+std::uint64_t OptBudget(const CliArgs& args) {
+  return OptUint(args, "budget", 0, 0,
+                 std::numeric_limits<std::uint64_t>::max());
 }
 
 DatagenOptions GenOptions(const CliArgs& args) {
   DatagenOptions options;
-  options.seed = static_cast<std::uint64_t>(OptDouble(args, "seed", 7));
+  options.seed = OptUint(args, "seed", 7, 0,
+                         std::numeric_limits<std::uint64_t>::max());
   options.scale = OptDouble(args, "scale", 1.0);
   return options;
 }
@@ -135,6 +202,7 @@ int CmdList() {
 }
 
 int CmdGenerate(const CliArgs& args) {
+  RequireKnownOptions(args, {"seed", "scale", "out"});
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: sper_cli generate <dataset> [--seed=N] "
                          "[--scale=S] [--out=PREFIX]\n");
@@ -174,10 +242,13 @@ MethodId ParseMethod(const std::string& name) {
 }
 
 int CmdRun(const CliArgs& args) {
+  RequireKnownOptions(args, {"seed", "scale", "method", "ecmax", "threads",
+                             "shards", "lookahead", "budget", "curve"});
   if (args.positional.size() < 2 || !args.options.count("method")) {
     std::fprintf(stderr, "usage: sper_cli run <dataset> --method=NAME "
                          "[--seed=N] [--scale=S] [--ecmax=E] [--threads=N] "
-                         "[--shards=N] [--lookahead=N] [--curve=FILE.csv]\n");
+                         "[--shards=N] [--lookahead=N] [--budget=N] "
+                         "[--curve=FILE.csv]\n");
     return 2;
   }
   Result<DatasetBundle> dataset =
@@ -196,8 +267,9 @@ int CmdRun(const CliArgs& args) {
   config.num_threads = OptThreads(args);
   config.num_shards = OptShards(args);
   config.lookahead = OptLookahead(args);
-  std::unique_ptr<ProgressiveEmitter> probe =
-      MakeEmitter(method, dataset.value(), config);
+  config.budget = OptBudget(args);
+  std::unique_ptr<Resolver> probe =
+      MakeResolver(method, dataset.value(), config);
   if (probe == nullptr) {
     std::fprintf(stderr, "method %s is not applicable to %s "
                          "(no schema-based blocking key)\n",
@@ -208,11 +280,16 @@ int CmdRun(const CliArgs& args) {
   probe.reset();
 
   RunResult run = evaluator.Run(
-      [&] { return MakeEmitter(method, dataset.value(), config); });
+      [&] { return MakeResolver(method, dataset.value(), config); });
 
   if (config.num_shards > 1) {
     std::printf("sharded serving: %zu hash shards, merged emission\n",
                 config.num_shards);
+  }
+  if (config.budget > 0) {
+    std::printf("pay-as-you-go budget: %llu comparisons (global across "
+                "shards)\n",
+                static_cast<unsigned long long>(config.budget));
   }
   if (config.lookahead > 0 && MethodHasBatchRefills(method)) {
     std::printf("emission pipeline: lookahead %zu (refills produced ahead "
@@ -255,6 +332,8 @@ int CmdRun(const CliArgs& args) {
 }
 
 int CmdInspect(const CliArgs& args) {
+  RequireKnownOptions(args, {"seed", "scale", "threads", "shards",
+                             "lookahead"});
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: sper_cli inspect <dataset> [--seed=N] "
                          "[--scale=S] [--threads=N] [--shards=N] "
