@@ -12,6 +12,13 @@
 //                   are produced ahead of consumption on producer tasks,
 //                   one per shard, so the consumer pops completed batches.
 //
+// Each path also runs a telemetry-overhead configuration ("_obs" rows): the
+// same drain with a live obs::Registry attached. Those rows are digest-
+// checked against the same reference (telemetry must be a pure observer)
+// and report the on/off wall-clock ratio as an "overhead" extra; the
+// pipelined one additionally reports ring-occupancy quantiles and
+// stall/wait counts read off the registry.
+//
 // Both paths emit the *bit-identical* comparison stream (same pairs, same
 // weights, same order); the bench folds every emission into an FNV-1a
 // digest and fails (exit 1) on any divergence.
@@ -50,6 +57,8 @@
 #include "datagen/datagen.h"
 #include "engine/resolver.h"
 #include "eval/table.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -65,16 +74,22 @@ using sper::bench::DrainResult;
 
 /// Builds the resolver (Resolver::Create picks plain vs sharded vs
 /// pipelined), then times the emission drain only — initialization is
-/// bench_parallel_scaling's job.
+/// bench_parallel_scaling's job. A non-null `registry` attaches a
+/// telemetry scope (the "_obs" paths); the drained stream must stay
+/// bit-identical either way.
 DrainResult RunOnce(const ProfileStore& store, MethodId method,
                     std::size_t threads, std::size_t shards,
-                    std::size_t lookahead, std::uint64_t budget) {
+                    std::size_t lookahead, std::uint64_t budget,
+                    obs::Registry* registry = nullptr) {
   ResolverOptions options;
   options.method = method;
   options.num_threads = threads;
   options.num_shards = shards;
   options.budget = budget;
   options.lookahead = lookahead;
+  if (registry != nullptr) {
+    options.telemetry = obs::TelemetryScope(registry);
+  }
   std::unique_ptr<Resolver> engine =
       sper::bench::CreateResolverOrDie(store, options);
 
@@ -85,6 +100,40 @@ DrainResult RunOnce(const ProfileStore& store, MethodId method,
   }
   result.wall_ms = Millis(start);
   return result;
+}
+
+/// The telemetry observations of one instrumented pipelined run,
+/// aggregated across shards (the plain engine records unprefixed
+/// "pipeline.*" metrics; the sharded engine one set per "shardS."
+/// prefix).
+void AppendPipelineExtras(const obs::Registry& registry, std::size_t shards,
+                          sper::bench::JsonRecord& record) {
+  obs::Histogram occupancy;
+  std::uint64_t stalls = 0;
+  std::uint64_t waits = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string prefix =
+        shards > 1 ? "shard" + std::to_string(s) + "." : "";
+    if (const obs::Histogram* h =
+            registry.FindHistogram(prefix + "pipeline.ring_occupancy")) {
+      occupancy.Merge(*h);
+    }
+    if (const obs::Counter* c =
+            registry.FindCounter(prefix + "pipeline.producer_stalls")) {
+      stalls += c->value();
+    }
+    if (const obs::Counter* c =
+            registry.FindCounter(prefix + "pipeline.consumer_waits")) {
+      waits += c->value();
+    }
+  }
+  const obs::HistogramSnapshot snap = occupancy.Snapshot();
+  record.extras.emplace_back("ring_occupancy_p50",
+                             static_cast<double>(snap.p50));
+  record.extras.emplace_back("ring_occupancy_p99",
+                             static_cast<double>(snap.p99));
+  record.extras.emplace_back("producer_stalls", static_cast<double>(stalls));
+  record.extras.emplace_back("consumer_waits", static_cast<double>(waits));
 }
 
 }  // namespace
@@ -185,6 +234,36 @@ int main(int argc, char** argv) {
     records.push_back({dataset.value().name, scale, threads, "emit_serial",
                        serial.wall_ms, 1.0, shards, 0});
 
+    // Telemetry-overhead configuration: the same serial drain with a
+    // live registry attached. The stream must stay bit-identical and the
+    // overhead (obs/off wall-clock ratio) near 1.0 — the acceptance bar
+    // for the instrumentation being a pure observer.
+    {
+      DrainResult serial_obs;
+      for (int r = 0; r < repeat; ++r) {
+        obs::Registry registry;
+        DrainResult run = RunOnce(store, *method, threads, shards,
+                                  /*lookahead=*/0, budget, &registry);
+        if (r == 0 || run.wall_ms < serial_obs.wall_ms) serial_obs = run;
+      }
+      const bool match = serial_obs.SameStream(serial);
+      ok = ok && match;
+      const double overhead =
+          serial.wall_ms > 0 ? serial_obs.wall_ms / serial.wall_ms : 0.0;
+      table.AddRow({std::to_string(shards), "0 (serial, obs)",
+                    std::to_string(serial_obs.emitted),
+                    FormatDouble(serial_obs.wall_ms, 1),
+                    FormatDouble(overhead, 3) + "x ovh",
+                    match ? "match" : "MISMATCH"});
+      sper::bench::JsonRecord record{
+          dataset.value().name, scale, threads, "emit_serial_obs",
+          serial_obs.wall_ms,
+          serial_obs.wall_ms > 0 ? serial.wall_ms / serial_obs.wall_ms : 0.0,
+          shards, 0};
+      record.extras.emplace_back("overhead", overhead);
+      records.push_back(std::move(record));
+    }
+
     for (std::size_t lookahead : lookaheads) {
       if (lookahead == 0) continue;
       DrainResult pipelined;
@@ -205,6 +284,43 @@ int main(int argc, char** argv) {
       records.push_back({dataset.value().name, scale, threads,
                          "emit_pipelined", pipelined.wall_ms, speedup,
                          shards, lookahead});
+
+      // Instrumented pipelined run: overhead vs the un-instrumented
+      // pipelined drain, plus the pipeline-health observations (ring
+      // occupancy quantiles, stall/wait counts) read off the registry of
+      // the best repeat.
+      DrainResult pipelined_obs;
+      std::unique_ptr<obs::Registry> best_registry;
+      for (int r = 0; r < repeat; ++r) {
+        auto registry = std::make_unique<obs::Registry>();
+        DrainResult run = RunOnce(store, *method, threads, shards,
+                                  lookahead, budget, registry.get());
+        if (r == 0 || run.wall_ms < pipelined_obs.wall_ms) {
+          pipelined_obs = run;
+          best_registry = std::move(registry);
+        }
+      }
+      const bool obs_match = pipelined_obs.SameStream(serial);
+      ok = ok && obs_match;
+      const double overhead = pipelined.wall_ms > 0
+                                  ? pipelined_obs.wall_ms / pipelined.wall_ms
+                                  : 0.0;
+      table.AddRow({std::to_string(shards),
+                    std::to_string(lookahead) + " (obs)",
+                    std::to_string(pipelined_obs.emitted),
+                    FormatDouble(pipelined_obs.wall_ms, 1),
+                    FormatDouble(overhead, 3) + "x ovh",
+                    obs_match ? "match" : "MISMATCH"});
+      sper::bench::JsonRecord record{
+          dataset.value().name, scale, threads, "emit_pipelined_obs",
+          pipelined_obs.wall_ms,
+          pipelined_obs.wall_ms > 0
+              ? pipelined.wall_ms / pipelined_obs.wall_ms
+              : 0.0,
+          shards, lookahead};
+      record.extras.emplace_back("overhead", overhead);
+      AppendPipelineExtras(*best_registry, shards, record);
+      records.push_back(std::move(record));
     }
   }
   table.Print();

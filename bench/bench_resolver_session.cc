@@ -23,7 +23,11 @@
 // --json emits {dataset, scale, threads, shards, lookahead, batch_size,
 // path, wall_ms, speedup} records (schema: bench/BENCH.md); speedup is
 // unbatched/batched at the same configuration, batch_size is 0 for the
-// un-batched baseline rows.
+// un-batched baseline rows. Each session_batched record additionally
+// carries per-request latency observations (queue_wait_p50_us /
+// queue_wait_p99_us / service_p50_us / service_p99_us) from one separate
+// telemetry-instrumented run — the timed runs stay telemetry-free, and
+// the instrumented stream is digest-checked against the reference.
 
 #include <chrono>
 #include <cstdio>
@@ -38,6 +42,9 @@
 #include "datagen/datagen.h"
 #include "engine/resolver.h"
 #include "eval/table.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -177,9 +184,37 @@ int main(int argc, char** argv) {
                   FormatDouble(batched.wall_ms, 1),
                   FormatDouble(speedup, 2) + "x",
                   match ? "match" : "MISMATCH"});
-    records.push_back({dataset.value().name, scale, options.num_threads,
-                       "session_batched", batched.wall_ms, speedup,
-                       options.num_shards, options.lookahead, batch});
+    sper::bench::JsonRecord record{dataset.value().name, scale,
+                                   options.num_threads, "session_batched",
+                                   batched.wall_ms, speedup,
+                                   options.num_shards, options.lookahead,
+                                   batch};
+
+    // One separate instrumented run per batch size: the timed runs above
+    // stay telemetry-free, this one collects the per-request latency
+    // distributions (and re-checks the digest — telemetry must not
+    // perturb the served stream).
+    obs::Registry registry;
+    ResolverOptions instrumented = options;
+    instrumented.telemetry = obs::TelemetryScope(&registry);
+    DrainResult obs_run = RunOnce(store, instrumented, batch);
+    ok = ok && obs_run.SameStream(unbatched);
+    const auto quantiles_us = [&registry](const char* name, double out[2]) {
+      const obs::Histogram* h = registry.FindHistogram(name);
+      const obs::HistogramSnapshot snap =
+          h != nullptr ? h->Snapshot() : obs::HistogramSnapshot{};
+      out[0] = static_cast<double>(snap.p50) / 1000.0;
+      out[1] = static_cast<double>(snap.p99) / 1000.0;
+    };
+    double queue_wait[2];
+    double service[2];
+    quantiles_us("session.queue_wait_ns", queue_wait);
+    quantiles_us("session.service_ns", service);
+    record.extras.emplace_back("queue_wait_p50_us", queue_wait[0]);
+    record.extras.emplace_back("queue_wait_p99_us", queue_wait[1]);
+    record.extras.emplace_back("service_p50_us", service[0]);
+    record.extras.emplace_back("service_p99_us", service[1]);
+    records.push_back(std::move(record));
   }
   table.Print();
   std::printf("\ndigest = FNV-1a over every emitted (i, j, weight); "

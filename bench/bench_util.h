@@ -121,6 +121,11 @@ struct JsonRecord {
   /// ResolverSession request size of a session-batched drain
   /// (bench_resolver_session); 0 for un-batched / non-session paths.
   std::size_t batch_size = 0;
+  /// Additional numeric fields serialized verbatim into the record
+  /// (e.g. telemetry-run observations: "overhead", "ring_occupancy_p99",
+  /// "queue_wait_p50_us"). Names must be stable per path — BENCH.md
+  /// documents them.
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// Escapes a string for embedding inside a JSON string literal: quotes,
@@ -176,10 +181,14 @@ inline bool WriteJsonRecords(const std::string& file,
                  "  {\"dataset\": \"%s\", \"scale\": %g, \"threads\": %zu, "
                  "\"shards\": %zu, \"lookahead\": %zu, \"batch_size\": %zu, "
                  "\"path\": \"%s\", "
-                 "\"wall_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 "\"wall_ms\": %.3f, \"speedup\": %.3f",
                  JsonEscape(r.dataset).c_str(), r.scale, r.threads, r.shards,
                  r.lookahead, r.batch_size, JsonEscape(r.path).c_str(),
-                 r.wall_ms, r.speedup, i + 1 < records.size() ? "," : "");
+                 r.wall_ms, r.speedup);
+    for (const auto& [name, value] : r.extras) {
+      std::fprintf(out, ", \"%s\": %.6g", JsonEscape(name).c_str(), value);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);

@@ -6,7 +6,9 @@
 
 namespace sper {
 
-BlockCollection BlockScheduling(const BlockCollection& input) {
+BlockCollection BlockScheduling(const BlockCollection& input,
+                                obs::TelemetryScope telemetry) {
+  obs::ScopedPhase timer(telemetry, "block_scheduling");
   std::vector<BlockId> order(input.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](BlockId a, BlockId b) {

@@ -2,6 +2,7 @@
 #define SPER_BLOCKING_BLOCK_SCHEDULING_H_
 
 #include "blocking/block_collection.h"
+#include "obs/telemetry.h"
 
 /// \file block_scheduling.h
 /// Block Scheduling (paper Sec. 5.2.1): orders blocks for progressive
@@ -17,7 +18,9 @@ namespace sper {
 /// The key tie-break replaces the paper's "random permutation of the
 /// blocks that have the same number of comparisons" with a deterministic
 /// choice, which the paper notes does not affect the end result.
-BlockCollection BlockScheduling(const BlockCollection& input);
+/// `telemetry` records the run as phase "block_scheduling".
+BlockCollection BlockScheduling(const BlockCollection& input,
+                                obs::TelemetryScope telemetry = {});
 
 }  // namespace sper
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/comparison.h"
@@ -18,10 +19,24 @@
 
 namespace sper {
 
+/// One timed step of an engine's initialization, e.g. token blocking on
+/// shard 2. Phase names are the telemetry phase names ("token_blocking",
+/// "block_purging", "block_filtering", "method_build", ...).
+struct InitPhase {
+  std::string name;
+  /// Shard the phase ran on; 0 for an unsharded engine, and for
+  /// shard-spanning phases such as "partition".
+  std::size_t shard = 0;
+  double seconds = 0.0;
+};
+
 /// Aggregate facts about an engine's initialization phase, unified across
 /// plain and sharded engines (diagnostics / benches).
 struct InitStats {
-  /// Wall-clock seconds spent in the engine's constructor.
+  /// Wall-clock seconds spent in the engine's constructor. The per-phase
+  /// breakdown is in `phases`; init_seconds stays the authoritative total
+  /// (phases can overlap under concurrent shard construction, so their
+  /// sum may exceed it).
   double init_seconds = 0.0;
   /// |B| of the workflow collection, summed over shards (0 for the
   /// sort-based methods).
@@ -31,6 +46,8 @@ struct InitStats {
   std::uint64_t aggregate_cardinality = 0;
   /// Profiles per shard, in shard order; empty for an unsharded engine.
   std::vector<std::size_t> shard_sizes;
+  /// Per-phase breakdown of init_seconds, in execution order per shard.
+  std::vector<InitPhase> phases;
 };
 
 /// The engine interface: a ranked comparison stream (Next/name, inherited

@@ -1,7 +1,6 @@
 #include "engine/progressive_engine.h"
 
 #include <cctype>
-#include <chrono>
 #include <string>
 #include <utility>
 
@@ -62,11 +61,45 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
                                      EngineOptions options,
                                      ThreadPool* emission_pool)
     : options_(std::move(options)) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch init_watch;
   if (options_.num_threads == 0) options_.num_threads = 1;
   budget_ = options_.budget;
+  const obs::TelemetryScope& scope = options_.telemetry;
 
-  switch (options_.method) {
+  // The blocking workflow of the equality-based methods, timed per step.
+  // Its phases land in stats_.phases before "method_build" (the emitter
+  // construction that follows it); finer method sub-phases
+  // ("block_scheduling", "edge_weighting", "profile_scheduling") are
+  // recorded registry-side by the callees themselves.
+  const auto run_workflow = [&](const ProfileStore& s) {
+    TokenWorkflowOptions workflow = options_.workflow;
+    workflow.num_threads = options_.num_threads;
+    workflow.telemetry = scope;
+    TokenWorkflowTiming timing;
+    BlockCollection blocks = BuildTokenWorkflowBlocks(s, workflow, &timing);
+    stats_.phases.push_back(
+        {"token_blocking", 0, timing.token_blocking_seconds});
+    if (workflow.enable_purging) {
+      stats_.phases.push_back({"block_purging", 0, timing.purging_seconds});
+    }
+    if (workflow.enable_filtering) {
+      stats_.phases.push_back(
+          {"block_filtering", 0, timing.filtering_seconds});
+    }
+    stats_.num_blocks = blocks.size();
+    stats_.aggregate_cardinality = blocks.AggregateCardinality();
+    return blocks;
+  };
+
+  std::optional<BlockCollection> workflow_blocks;
+  if (MethodHasBatchRefills(options_.method)) {
+    workflow_blocks.emplace(run_workflow(store));
+  }
+
+  double method_seconds = 0.0;
+  {
+    obs::ScopedPhase method_phase(scope, "method_build", &method_seconds);
+    switch (options_.method) {
     case MethodId::kPsn:
       SPER_CHECK(options_.schema_key != nullptr &&
                  "kPsn requires EngineOptions::schema_key");
@@ -90,31 +123,26 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
       break;
     }
     case MethodId::kPbs: {
-      TokenWorkflowOptions workflow = options_.workflow;
-      workflow.num_threads = options_.num_threads;
-      BlockCollection blocks = BuildTokenWorkflowBlocks(store, workflow);
-      stats_.num_blocks = blocks.size();
-      stats_.aggregate_cardinality = blocks.AggregateCardinality();
       PbsOptions pbs;
       pbs.scheme = options_.scheme;
       pbs.num_threads = options_.num_threads;
-      inner_ = std::make_unique<PbsEmitter>(store, blocks, pbs);
+      pbs.telemetry = scope;
+      inner_ = std::make_unique<PbsEmitter>(store, *workflow_blocks, pbs);
       break;
     }
     case MethodId::kPps: {
-      TokenWorkflowOptions workflow = options_.workflow;
-      workflow.num_threads = options_.num_threads;
-      BlockCollection blocks = BuildTokenWorkflowBlocks(store, workflow);
-      stats_.num_blocks = blocks.size();
-      stats_.aggregate_cardinality = blocks.AggregateCardinality();
       PpsOptions pps;
       pps.scheme = options_.scheme;
       pps.kmax = options_.pps_kmax;
       pps.num_threads = options_.num_threads;
-      inner_ = std::make_unique<PpsEmitter>(store, std::move(blocks), pps);
+      pps.telemetry = scope;
+      inner_ = std::make_unique<PpsEmitter>(store,
+                                            std::move(*workflow_blocks), pps);
       break;
     }
+    }
   }
+  stats_.phases.push_back({"method_build", 0, method_seconds});
   SPER_CHECK(inner_ != nullptr && "unknown method");
 
   // Emission pipeline (lookahead > 0): run the method's refills on a pool
@@ -134,6 +162,16 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
     // anyway, so concatenation keeps the serial order while amortizing
     // the per-slot handoff to once per ~kMinBatchItems emissions.
     constexpr std::size_t kMinBatchItems = 256;
+    if (scope.enabled()) {
+      pipeline_metrics_.batches = scope.counter("pipeline.batches");
+      pipeline_metrics_.producer_stalls =
+          scope.counter("pipeline.producer_stalls");
+      pipeline_metrics_.consumer_waits =
+          scope.counter("pipeline.consumer_waits");
+      pipeline_metrics_.refill_ns = scope.histogram("pipeline.refill_ns");
+      pipeline_metrics_.ring_occupancy =
+          scope.histogram("pipeline.ring_occupancy");
+    }
     pipeline_ = std::make_unique<EmissionPipeline<ComparisonList>>(
         options_.lookahead,
         [source = batch_source_,
@@ -144,13 +182,17 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
             out.AppendFrom(scratch);
           } while (out.remaining() < kMinBatchItems);
           return !out.Empty();
-        });
+        },
+        scope.enabled() ? &pipeline_metrics_ : nullptr);
     pipeline_->Start(*emission_pool);
   }
 
-  stats_.init_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  stats_.init_seconds = init_watch.ElapsedSeconds();
+  scope.RecordSpan("init", init_watch.start(), obs::Stopwatch::Now());
+  if (obs::Gauge* total = scope.gauge("phase.init_seconds");
+      total != nullptr) {
+    total->Add(stats_.init_seconds);
+  }
 }
 
 std::optional<Comparison> ProgressiveEngine::PipelinedNext() {

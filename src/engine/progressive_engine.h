@@ -10,6 +10,7 @@
 #include "core/types.h"
 #include "engine/engine.h"
 #include "engine/method.h"
+#include "obs/telemetry.h"
 #include "parallel/emission_pipeline.h"
 #include "parallel/thread_pool.h"
 #include "progressive/comparison_list.h"
@@ -84,6 +85,11 @@ struct EngineOptions {
   NeighborListOptions list;
   /// Schema-based blocking key; required by kPsn, ignored otherwise.
   SchemaKeyFn schema_key;
+  /// Telemetry sink (phase timers, pipeline health metrics, spans).
+  /// Default-constructed = disabled; the emitted stream is bit-identical
+  /// either way. ShardedEngine hands each shard a "shard<S>."-prefixed
+  /// sub-scope of the resolver's scope.
+  obs::TelemetryScope telemetry;
 };
 
 /// DEPRECATED alias for the unified InitStats (engine/engine.h); kept for
@@ -133,6 +139,9 @@ class ProgressiveEngine : public BudgetedEngine {
   /// inner_ viewed through its refill-batch capability; nullptr for the
   /// sort-based methods.
   BatchSource* batch_source_ = nullptr;
+  /// Registry sinks of the emission pipeline; must be declared before
+  /// pipeline_ (the pipeline holds a pointer to it for its lifetime).
+  EmissionPipelineMetrics pipeline_metrics_;
   // Members are destroyed in reverse declaration order: the pipeline must
   // close (and its producer task exit) before the owned pool joins, and
   // both before inner_ — whose refills the producer runs — is destroyed.

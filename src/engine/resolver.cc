@@ -26,6 +26,7 @@ EngineOptions ToEngineOptions(const ResolverOptions& options) {
   engine.suffix = options.suffix;
   engine.list = options.list;
   engine.schema_key = options.schema_key;
+  engine.telemetry = options.telemetry;
   return engine;
 }
 
@@ -58,6 +59,17 @@ Status ResolverOptions::Validate() const {
   return Status::Ok();
 }
 
+Resolver::Resolver(ResolverOptions options, std::unique_ptr<Engine> engine)
+    : options_(std::move(options)), engine_(std::move(engine)) {
+  const obs::TelemetryScope& scope = options_.telemetry;
+  if (scope.enabled()) {
+    queue_wait_ns_ = scope.histogram("session.queue_wait_ns");
+    service_ns_ = scope.histogram("session.service_ns");
+    slice_comparisons_ = scope.histogram("session.slice_comparisons");
+    requests_ = scope.counter("session.requests");
+  }
+}
+
 Result<std::unique_ptr<Resolver>> Resolver::Create(const ProfileStore& store,
                                                    ResolverOptions options) {
   SPER_RETURN_IF_ERROR(options.Validate());
@@ -76,6 +88,7 @@ Result<std::unique_ptr<Resolver>> Resolver::Create(const ProfileStore& store,
 }
 
 ResolveResult Resolver::Serve(const ResolveRequest& request) {
+  const obs::Stopwatch arrival;
   ResolveResult result;
   // Ticketed FIFO admission: the ticket is taken atomically on arrival,
   // before the serve mutex, and the draw waits until every earlier ticket
@@ -85,6 +98,10 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
   result.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return now_serving_ == result.ticket; });
+  const obs::Stopwatch::TimePoint admitted = obs::Stopwatch::Now();
+  if (queue_wait_ns_ != nullptr) {
+    queue_wait_ns_->Record(obs::Stopwatch::Nanos(arrival.start(), admitted));
+  }
 
   // Keep the admission queue live even if the draw throws (e.g.
   // bad_alloc growing a huge slice): scope exit — declared after `lock`,
@@ -123,6 +140,18 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
   // A request admitted after the global budget is spent (including a
   // zero-budget probe) still learns so without drawing.
   if (engine_->BudgetExhausted()) result.budget_exhausted = true;
+
+  if (requests_ != nullptr) {
+    const obs::Stopwatch::TimePoint done = obs::Stopwatch::Now();
+    requests_->Add();
+    service_ns_->Record(obs::Stopwatch::Nanos(admitted, done));
+    slice_comparisons_->Record(result.comparisons.size());
+    options_.telemetry.RecordSpan(
+        "session.resolve", admitted, done,
+        "{\"ticket\": " + std::to_string(result.ticket) +
+            ", \"comparisons\": " +
+            std::to_string(result.comparisons.size()) + "}");
+  }
   return result;  // the guard admits the next ticket
 }
 

@@ -17,6 +17,7 @@
 #include "engine/engine.h"
 #include "engine/method.h"
 #include "metablocking/edge_weighting.h"
+#include "obs/telemetry.h"
 #include "progressive/workflow.h"
 #include "sorted/neighbor_list.h"
 
@@ -93,6 +94,16 @@ struct ResolverOptions {
   NeighborListOptions list;
   /// Schema-based blocking key; required by kPsn, ignored otherwise.
   SchemaKeyFn schema_key;
+
+  /// Telemetry sink: hand a scope into an obs::Registry to record
+  /// per-phase init timings (per shard when sharded), emission-pipeline
+  /// health, k-way-merge draw balance and per-request session metrics
+  /// ("session.queue_wait_ns", "session.service_ns",
+  /// "session.slice_comparisons" histograms plus "session.resolve"
+  /// spans). Default-constructed = disabled; the emitted stream is
+  /// bit-identical either way, and the compile-time SPER_NO_TELEMETRY
+  /// switch removes the seam entirely.
+  obs::TelemetryScope telemetry;
 
   /// Validation bounds (shared with the CLI's strict flag parsing).
   static constexpr std::size_t kMaxThreads = 256;
@@ -205,11 +216,18 @@ class Resolver : public ProgressiveEmitter {
   ResolveResult Serve(const ResolveRequest& request);
 
  private:
-  Resolver(ResolverOptions options, std::unique_ptr<Engine> engine)
-      : options_(std::move(options)), engine_(std::move(engine)) {}
+  Resolver(ResolverOptions options, std::unique_ptr<Engine> engine);
 
   ResolverOptions options_;
   std::unique_ptr<Engine> engine_;
+
+  /// Session metric sinks, created once at construction when telemetry is
+  /// enabled (all nullptr otherwise). Histograms record nanoseconds
+  /// except slice_comparisons_ (delivered comparisons per request).
+  obs::Histogram* queue_wait_ns_ = nullptr;
+  obs::Histogram* service_ns_ = nullptr;
+  obs::Histogram* slice_comparisons_ = nullptr;
+  obs::Counter* requests_ = nullptr;
 
   /// Ticketed FIFO admission over the shared stream. The ticket is taken
   /// atomically on arrival — *before* the serve mutex — so admission

@@ -1,9 +1,10 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
-#include <chrono>
+#include <string>
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "parallel/thread_pool.h"
 
 namespace sper {
@@ -25,12 +26,19 @@ bool ShardHasCandidates(const ProfileStore& store) {
 ShardedEngine::ShardedEngine(const ProfileStore& store,
                              ShardedEngineOptions options)
     : options_(std::move(options)) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch init_watch;
   if (options_.num_shards == 0) options_.num_shards = 1;
   if (options_.engine.num_threads == 0) options_.engine.num_threads = 1;
   budget_ = options_.engine.budget;
+  const obs::TelemetryScope& scope = options_.engine.telemetry;
 
-  shards_ = PartitionStore(store, options_.num_shards);
+  {
+    double partition_seconds = 0.0;
+    obs::ScopedPhase phase(scope, "partition", &partition_seconds);
+    shards_ = PartitionStore(store, options_.num_shards);
+    phase.Stop();
+    stats_.phases.push_back({"partition", 0, partition_seconds});
+  }
   engines_.resize(shards_.size());
   stats_.shard_sizes.reserve(shards_.size());
   for (const StoreShard& shard : shards_) {
@@ -72,19 +80,27 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
     }
   }
 
+  // Each shard gets a "shard<S>."-prefixed sub-scope, so concurrent
+  // shard constructions write disjoint metric names (registry creation is
+  // mutex-protected either way).
+  const auto shard_options = [&](std::size_t s) {
+    EngineOptions shard_inner = inner;
+    shard_inner.telemetry = scope.Sub("shard" + std::to_string(s));
+    return shard_inner;
+  };
   if (concurrency <= 1) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (!ShardHasCandidates(shards_[s].store)) continue;
       engines_[s] = std::make_unique<ProgressiveEngine>(
-          shards_[s].store, inner, emission_pool_.get());
+          shards_[s].store, shard_options(s), emission_pool_.get());
     }
   } else {
     ThreadPool pool(concurrency);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       if (!ShardHasCandidates(shards_[s].store)) continue;
-      pool.Submit([this, s, &inner] {
+      pool.Submit([this, s, &shard_options] {
         engines_[s] = std::make_unique<ProgressiveEngine>(
-            shards_[s].store, inner, emission_pool_.get());
+            shards_[s].store, shard_options(s), emission_pool_.get());
       });
     }
     pool.Wait();
@@ -100,6 +116,9 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
     stats_.num_blocks += engines_[s]->init_stats().num_blocks;
     stats_.aggregate_cardinality +=
         engines_[s]->init_stats().aggregate_cardinality;
+    for (const InitPhase& phase : engines_[s]->init_stats().phases) {
+      stats_.phases.push_back({phase.name, s, phase.seconds});
+    }
     ProgressiveEngine* engine = engines_[s].get();
     const std::vector<ProfileId>* to_global = &shards_[s].to_global;
     merge_.AddStream([engine, to_global]() -> std::optional<Comparison> {
@@ -108,15 +127,26 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
       return Comparison((*to_global)[local->i], (*to_global)[local->j],
                         local->weight);
     });
+    if (scope.enabled()) {
+      draw_counters_.push_back(
+          scope.counter("merge.shard" + std::to_string(s) + ".draws"));
+    }
   }
 
-  stats_.init_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  stats_.init_seconds = init_watch.ElapsedSeconds();
+  scope.RecordSpan("init", init_watch.start(), obs::Stopwatch::Now());
+  if (obs::Gauge* total = scope.gauge("phase.init_seconds");
+      total != nullptr) {
+    total->Add(stats_.init_seconds);
+  }
 }
 
 std::optional<Comparison> ShardedEngine::NextUnbudgeted() {
-  return merge_.Next();
+  std::optional<Comparison> next = merge_.Next();
+  if (next.has_value() && !draw_counters_.empty()) {
+    draw_counters_[merge_.last_stream()]->Add();
+  }
+  return next;
 }
 
 std::string_view ShardedEngine::name() const {

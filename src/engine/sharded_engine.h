@@ -12,6 +12,7 @@
 #include "core/store_partition.h"
 #include "engine/engine.h"
 #include "engine/progressive_engine.h"
+#include "obs/telemetry.h"
 #include "parallel/ordered_merge.h"
 #include "parallel/thread_pool.h"
 #include "progressive/emitter.h"
@@ -103,6 +104,9 @@ class ShardedEngine : public BudgetedEngine {
   std::unique_ptr<ThreadPool> emission_pool_;
   std::vector<std::unique_ptr<ProgressiveEngine>> engines_;
   KWayMerge<Comparison, ByWeightDesc> merge_;
+  /// Per-*stream* draw counters ("merge.shard<S>.draws", stream order —
+  /// barren shards register no stream); empty when telemetry is off.
+  std::vector<obs::Counter*> draw_counters_;
 };
 
 }  // namespace sper

@@ -1,20 +1,12 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_set>
 
 #include "core/macros.h"
+#include "obs/clock.h"
 
 namespace sper {
-
-namespace {
-using Clock = std::chrono::steady_clock;
-
-double Seconds(Clock::time_point from, Clock::time_point to) {
-  return std::chrono::duration<double>(to - from).count();
-}
-}  // namespace
 
 ProgressiveEvaluator::ProgressiveEvaluator(const GroundTruth& truth,
                                            EvalOptions options)
@@ -28,11 +20,10 @@ RunResult ProgressiveEvaluator::Run(
     const MatchFunction* match) const {
   RunResult result;
 
-  const auto init_start = Clock::now();
+  const obs::Stopwatch init_watch;
   std::unique_ptr<ProgressiveEmitter> emitter = factory();
-  const auto init_end = Clock::now();
   result.method = std::string(emitter->name());
-  result.init_seconds = Seconds(init_start, init_end);
+  result.init_seconds = init_watch.ElapsedSeconds();
 
   const double num_matches = static_cast<double>(truth_.num_matches());
   const std::uint64_t ec_max = static_cast<std::uint64_t>(
@@ -52,16 +43,16 @@ RunResult ProgressiveEvaluator::Run(
   double match_seconds = 0.0;
 
   while (result.emissions < ec_max) {
-    const auto next_start = Clock::now();
+    obs::Stopwatch step_watch;
     std::optional<Comparison> comparison = emitter->Next();
-    emission_seconds += Seconds(next_start, Clock::now());
+    emission_seconds += step_watch.ElapsedSeconds();
     if (!comparison.has_value()) break;
     ++result.emissions;
 
     if (match != nullptr) {
-      const auto match_start = Clock::now();
+      step_watch.Restart();
       (void)match->Similarity(comparison->i, comparison->j);
-      match_seconds += Seconds(match_start, Clock::now());
+      match_seconds += step_watch.ElapsedSeconds();
     }
 
     if (truth_.AreMatching(comparison->i, comparison->j)) {

@@ -21,6 +21,7 @@ ResolverOptions ToResolverOptions(MethodId id, const DatasetBundle& dataset,
   options.suffix = config.suffix;
   options.list = config.list;
   options.schema_key = dataset.psn_key;
+  options.telemetry = config.telemetry;
   // MethodConfig is the old lenient surface (the engines historically
   // accepted any thread/shard count, with 0 meaning one); ResolverOptions
   // validates instead, so normalize into range here at the boundary —

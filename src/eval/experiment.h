@@ -50,6 +50,8 @@ struct MethodConfig {
   /// Global pay-as-you-go budget (ResolverOptions::budget): maximum
   /// comparisons emitted across the whole run; 0 = unlimited.
   std::uint64_t budget = 0;
+  /// Telemetry sink (ResolverOptions::telemetry): default = disabled.
+  obs::TelemetryScope telemetry;
 };
 
 /// The ResolverOptions equivalent of a MethodConfig for one method on one

@@ -38,8 +38,10 @@ const char* ToString(WeightingScheme scheme) {
 EdgeWeighter::EdgeWeighter(const BlockCollection& blocks,
                            const ProfileIndex& index,
                            const ProfileStore& store, WeightingScheme scheme,
-                           std::size_t num_threads)
+                           std::size_t num_threads,
+                           obs::TelemetryScope telemetry)
     : blocks_(blocks), index_(index), scheme_(scheme) {
+  obs::ScopedPhase timer(telemetry, "edge_weighting");
   log_num_blocks_ =
       blocks_.size() > 0 ? std::log10(static_cast<double>(blocks_.size()))
                          : 0.0;

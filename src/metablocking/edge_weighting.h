@@ -8,6 +8,7 @@
 #include "blocking/profile_index.h"
 #include "core/profile_store.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 
 /// \file edge_weighting.h
 /// The schema-agnostic edge-weighting functions of Meta-blocking [12, 20].
@@ -53,10 +54,12 @@ class EdgeWeighter {
   /// constructor performs one full graph pass to collect node degrees;
   /// `num_threads` parallelizes that pass over profile chunks with
   /// per-thread neighborhood accumulators (identical degrees at every
-  /// thread count).
+  /// thread count). `telemetry` records construction as phase
+  /// "edge_weighting".
   EdgeWeighter(const BlockCollection& blocks, const ProfileIndex& index,
                const ProfileStore& store, WeightingScheme scheme,
-               std::size_t num_threads = 1);
+               std::size_t num_threads = 1,
+               obs::TelemetryScope telemetry = {});
 
   /// Weight of the edge (i, j), walking their common blocks.
   /// Returns 0 when the profiles share no block.

@@ -1,0 +1,65 @@
+#ifndef SPER_OBS_CLOCK_H_
+#define SPER_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file clock.h
+/// The one monotonic clock of the observability layer. Every timing site
+/// in the library — phase timers, span recording, the evaluator's
+/// init/emission split, refill-latency histograms — reads time through
+/// Stopwatch instead of scattering its own std::chrono boilerplate.
+///
+/// Stopwatch is a *utility*, not instrumentation: it stays fully
+/// functional under SPER_NO_TELEMETRY (diagnostics like
+/// InitStats::init_seconds and RunResult timings must keep working with
+/// telemetry compiled out).
+
+namespace sper {
+namespace obs {
+
+/// Thin wrapper over std::chrono::steady_clock: started on construction,
+/// read any number of times.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// The current monotonic instant (for explicit start/end span APIs).
+  static TimePoint Now() { return Clock::now(); }
+
+  /// Seconds between two instants.
+  static double Seconds(TimePoint from, TimePoint to) {
+    return std::chrono::duration<double>(to - from).count();
+  }
+
+  /// Whole nanoseconds between two instants (clamped at 0).
+  static std::uint64_t Nanos(TimePoint from, TimePoint to) {
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count();
+    return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+  }
+
+  /// Instant this stopwatch was started (or last Restart()ed).
+  TimePoint start() const { return start_; }
+
+  /// Seconds elapsed since start.
+  double ElapsedSeconds() const { return Seconds(start_, Now()); }
+
+  /// Nanoseconds elapsed since start.
+  std::uint64_t ElapsedNanos() const { return Nanos(start_, Now()); }
+
+  /// Re-arms the stopwatch at the current instant.
+  void Restart() { start_ = Clock::now(); }
+
+ private:
+  TimePoint start_;
+};
+
+}  // namespace obs
+}  // namespace sper
+
+#endif  // SPER_OBS_CLOCK_H_

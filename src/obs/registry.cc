@@ -1,0 +1,235 @@
+#include "obs/registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sper {
+namespace obs {
+
+namespace {
+
+/// Escapes a metric/span name for a JSON string literal.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number (NaN/Inf — not representable in
+/// JSON — degrade to 0).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonNumber(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+template <typename Map, typename Fn>
+void AppendSection(std::string& out, const char* section, const Map& map,
+                   Fn&& value_json) {
+  out += "  \"";
+  out += section;
+  out += "\": {";
+  bool first = true;
+  for (const auto& [name, metric] : map) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"";
+    out += JsonEscape(name);
+    out += "\": ";
+    out += value_json(*metric);
+  }
+  out += first ? "},\n" : "\n  },\n";
+}
+
+}  // namespace
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+const Counter* Registry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::uint32_t Registry::ThreadIndexLocked() {
+  const std::thread::id id = std::this_thread::get_id();
+  auto it = thread_indices_.find(id);
+  if (it == thread_indices_.end()) {
+    it = thread_indices_
+             .emplace(id,
+                      static_cast<std::uint32_t>(thread_indices_.size() + 1))
+             .first;
+  }
+  return it->second;
+}
+
+void Registry::RecordSpan(std::string_view name, Stopwatch::TimePoint start,
+                          Stopwatch::TimePoint end, std::string args_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_spans_;
+    return;
+  }
+  Span span;
+  span.name = std::string(name);
+  span.tid = ThreadIndexLocked();
+  span.start_ns = start >= epoch_ ? Stopwatch::Nanos(epoch_, start) : 0;
+  span.duration_ns = Stopwatch::Nanos(start, end);
+  span.args_json = std::move(args_json);
+  spans_.push_back(std::move(span));
+}
+
+std::size_t Registry::num_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::uint64_t Registry::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_spans_;
+}
+
+std::string Registry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"schema\": \"sper.metrics.v1\",\n";
+  AppendSection(out, "counters", counters_, [](const Counter& c) {
+    return JsonNumber(c.value());
+  });
+  AppendSection(out, "gauges", gauges_, [](const Gauge& g) {
+    return JsonNumber(g.value());
+  });
+  AppendSection(out, "histograms", histograms_, [](const Histogram& h) {
+    const HistogramSnapshot s = h.Snapshot();
+    std::string json = "{\"count\": " + JsonNumber(s.count);
+    json += ", \"sum\": " + JsonNumber(s.sum);
+    json += ", \"mean\": " + JsonNumber(s.mean());
+    json += ", \"max\": " + JsonNumber(s.max);
+    json += ", \"p50\": " + JsonNumber(s.p50);
+    json += ", \"p90\": " + JsonNumber(s.p90);
+    json += ", \"p99\": " + JsonNumber(s.p99);
+    json += "}";
+    return json;
+  });
+  out += "  \"spans\": " + JsonNumber(std::uint64_t{spans_.size()}) + ",\n";
+  out += "  \"dropped_spans\": " + JsonNumber(dropped_spans_) + "\n}\n";
+  return out;
+}
+
+bool Registry::WriteSnapshotJson(const std::string& path) const {
+  const std::string json = SnapshotJson();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  return true;
+}
+
+bool Registry::WriteTraceJson(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    // Chrome trace-event "complete" event: ts/dur in microseconds.
+    std::fprintf(out,
+                 "  {\"name\": \"%s\", \"cat\": \"sper\", \"ph\": \"X\", "
+                 "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u",
+                 JsonEscape(span.name).c_str(),
+                 static_cast<double>(span.start_ns) / 1000.0,
+                 static_cast<double>(span.duration_ns) / 1000.0, span.tid);
+    if (!span.args_json.empty()) {
+      std::fprintf(out, ", \"args\": %s", span.args_json.c_str());
+    }
+    std::fprintf(out, "}%s\n", i + 1 < spans_.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace sper

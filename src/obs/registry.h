@@ -1,0 +1,116 @@
+#ifndef SPER_OBS_REGISTRY_H_
+#define SPER_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+/// \file registry.h
+/// The process-wide metric registry: named counters/gauges/histograms
+/// with get-or-create semantics and stable pointers, plus a span log for
+/// trace export. One Registry typically serves one Resolver (hand each
+/// concurrent resolver its own Registry, or distinct TelemetryScope
+/// prefixes, so they don't mix streams).
+///
+/// Two export formats:
+///   - SnapshotJson(): one stable-schema JSON object with every counter,
+///     gauge and histogram summary (p50/p90/p99 by exact rank) — the
+///     metrics endpoint shape;
+///   - WriteTraceJson(): the recorded spans as a Chrome trace-event JSON
+///     array, loadable in Perfetto / chrome://tracing ("X" complete
+///     events, microsecond timestamps relative to the registry's epoch).
+///
+/// Thread-safety: metric creation and span recording are mutex-protected;
+/// metric *updates* go through the returned pointers (lock-free, see
+/// metrics.h). Snapshotting while recording is safe.
+
+namespace sper {
+namespace obs {
+
+/// One completed span (a named interval on one thread).
+struct Span {
+  std::string name;
+  /// Registry-assigned dense thread index (1-based), stable per thread.
+  std::uint32_t tid = 0;
+  /// Start, nanoseconds since the registry epoch.
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Pre-formed JSON object for the trace event's "args" field
+  /// (e.g. R"({"ticket":3})"); empty = no args.
+  std::string args_json;
+};
+
+class Registry {
+ public:
+  /// Spans kept before further RecordSpan calls are dropped (counted in
+  /// dropped_spans()): bounds memory on long-lived servers.
+  static constexpr std::size_t kMaxSpans = 1 << 20;
+
+  Registry() : epoch_(Stopwatch::Now()) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by full name. Returned pointers are stable for the
+  /// registry's lifetime.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Lookup without creating; nullptr when absent.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Records one completed span (thread index assigned from the calling
+  /// thread). Silently dropped past kMaxSpans.
+  void RecordSpan(std::string_view name, Stopwatch::TimePoint start,
+                  Stopwatch::TimePoint end, std::string args_json = {});
+
+  /// The instant span timestamps are relative to.
+  Stopwatch::TimePoint epoch() const { return epoch_; }
+
+  std::size_t num_spans() const;
+  std::uint64_t dropped_spans() const;
+
+  /// The whole registry as one JSON object (schema "sper.metrics.v1"):
+  /// {"schema": ..., "counters": {name: value},
+  ///  "gauges": {name: value},
+  ///  "histograms": {name: {count, sum, mean, max, p50, p90, p99}},
+  ///  "spans": N, "dropped_spans": N}
+  /// Keys are sorted (std::map), so output is stable for a given state.
+  std::string SnapshotJson() const;
+
+  /// Writes SnapshotJson() to `path`; false (with stderr) on I/O failure.
+  bool WriteSnapshotJson(const std::string& path) const;
+
+  /// Writes the span log as a Chrome trace-event JSON array to `path`;
+  /// false (with stderr) on I/O failure.
+  bool WriteTraceJson(const std::string& path) const;
+
+ private:
+  std::uint32_t ThreadIndexLocked();
+
+  const Stopwatch::TimePoint epoch_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<Span> spans_;
+  std::uint64_t dropped_spans_ = 0;
+  std::map<std::thread::id, std::uint32_t> thread_indices_;
+};
+
+}  // namespace obs
+}  // namespace sper
+
+#endif  // SPER_OBS_REGISTRY_H_

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "parallel/spsc_ring.h"
 #include "parallel/thread_pool.h"
 
@@ -30,6 +32,24 @@
 
 namespace sper {
 
+/// Runtime-health metric sinks of one EmissionPipeline. All pointers are
+/// optional (nullptr = not recorded); the owner wires them to its
+/// registry and must keep them alive for the pipeline's lifetime.
+struct EmissionPipelineMetrics {
+  /// Batches committed by the producer.
+  obs::Counter* batches = nullptr;
+  /// Producer AcquireSlot calls that found the ring full (back-pressure:
+  /// consumption is the bottleneck).
+  obs::Counter* producer_stalls = nullptr;
+  /// Consumer Front calls that found the ring empty (starvation:
+  /// production is the bottleneck).
+  obs::Counter* consumer_waits = nullptr;
+  /// Wall nanoseconds per refill-batch production.
+  obs::Histogram* refill_ns = nullptr;
+  /// Committed-batch count observed after each commit (0..lookahead).
+  obs::Histogram* ring_occupancy = nullptr;
+};
+
 /// Runs `produce` on a pool worker, `lookahead` batches ahead of the
 /// consumer. Batch is any reusable buffer type (the engines use
 /// ComparisonList); `produce` must fill the passed batch and return false
@@ -40,9 +60,15 @@ class EmissionPipeline {
   using Produce = std::function<bool(Batch&)>;
 
   /// `lookahead` bounds how many completed batches may be queued (at
-  /// least 1). Production does not start until Start().
-  EmissionPipeline(std::size_t lookahead, Produce produce)
-      : ring_(lookahead), produce_(std::move(produce)) {}
+  /// least 1). Production does not start until Start(). `metrics`, when
+  /// given, must outlive the pipeline; it only adds relaxed counter
+  /// updates on the producer path, never extra synchronization, so the
+  /// emitted stream is identical with or without it.
+  EmissionPipeline(std::size_t lookahead, Produce produce,
+                   const EmissionPipelineMetrics* metrics = nullptr)
+      : ring_(lookahead),
+        produce_(std::move(produce)),
+        metrics_(metrics) {}
 
   /// Submits the producer loop. The pool must have a worker available for
   /// the pipeline's whole lifetime: the task runs until the stream is
@@ -72,7 +98,12 @@ class EmissionPipeline {
   /// commits one. nullptr once the stream is exhausted and drained; if the
   /// producer died on an exception, it is rethrown here.
   Batch* Front() {
-    Batch* front = ring_.Front();
+    bool waited = false;
+    Batch* front = ring_.Front(&waited);
+    if (waited && metrics_ != nullptr &&
+        metrics_->consumer_waits != nullptr) {
+      metrics_->consumer_waits->Add();
+    }
     if (front == nullptr) {
       std::lock_guard<std::mutex> lock(done_mutex_);
       if (exception_ != nullptr) {
@@ -89,10 +120,30 @@ class EmissionPipeline {
   void ProducerLoop() {
     try {
       for (;;) {
-        Batch* slot = ring_.AcquireSlot();
+        bool stalled = false;
+        Batch* slot = ring_.AcquireSlot(&stalled);
+        if (stalled && metrics_ != nullptr &&
+            metrics_->producer_stalls != nullptr) {
+          metrics_->producer_stalls->Add();
+        }
         if (slot == nullptr) break;  // consumer closed the stream
-        if (!produce_(*slot)) break;  // stream exhausted
+        if (metrics_ == nullptr) {
+          if (!produce_(*slot)) break;  // stream exhausted
+        } else {
+          const obs::Stopwatch watch;
+          const bool more = produce_(*slot);
+          if (metrics_->refill_ns != nullptr) {
+            metrics_->refill_ns->Record(watch.ElapsedNanos());
+          }
+          if (!more) break;  // stream exhausted
+        }
         ring_.CommitSlot();
+        if (metrics_ != nullptr) {
+          if (metrics_->batches != nullptr) metrics_->batches->Add();
+          if (metrics_->ring_occupancy != nullptr) {
+            metrics_->ring_occupancy->Record(ring_.size());
+          }
+        }
       }
     } catch (...) {
       std::lock_guard<std::mutex> lock(done_mutex_);
@@ -108,6 +159,7 @@ class EmissionPipeline {
 
   SpscSlotRing<Batch> ring_;
   Produce produce_;
+  const EmissionPipelineMetrics* metrics_ = nullptr;
   bool started_ = false;
 
   std::mutex done_mutex_;

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <utility>
@@ -39,10 +40,23 @@ class KWayMerge {
       : compare_(std::move(compare)) {}
 
   /// Registers one more stream. Must not be called after Next().
-  void AddStream(Stream stream) { streams_.push_back(std::move(stream)); }
+  void AddStream(Stream stream) {
+    streams_.push_back(std::move(stream));
+    draws_.push_back(0);
+  }
 
   /// Number of registered streams.
   std::size_t num_streams() const { return streams_.size(); }
+
+  /// How many heads each stream has contributed so far, by stream index
+  /// (telemetry: per-shard draw balance).
+  const std::vector<std::uint64_t>& draw_counts() const { return draws_; }
+
+  /// Stream index of the last emitted head; num_streams() before the
+  /// first successful Next().
+  std::size_t last_stream() const {
+    return last_stream_ == kNoStream ? streams_.size() : last_stream_;
+  }
 
   /// The best head among all streams, or nullopt once every stream is
   /// exhausted. Consuming a head refills it from its own stream only.
@@ -63,6 +77,8 @@ class KWayMerge {
     std::pop_heap(heap_.begin(), heap_.end(), HeapLess{compare_});
     Entry best = std::move(heap_.back());
     heap_.pop_back();
+    ++draws_[best.stream];
+    last_stream_ = best.stream;
     std::optional<T> refill = streams_[best.stream]();
     if (refill.has_value()) {
       heap_.push_back({std::move(*refill), best.stream});
@@ -89,9 +105,13 @@ class KWayMerge {
     }
   };
 
+  static constexpr std::size_t kNoStream = static_cast<std::size_t>(-1);
+
   Compare compare_;
   std::vector<Stream> streams_;
   std::vector<Entry> heap_;
+  std::vector<std::uint64_t> draws_;
+  std::size_t last_stream_ = kNoStream;
   bool primed_ = false;
 };
 

@@ -36,9 +36,12 @@ class SpscSlotRing {
   /// Producer: the next free slot to fill, blocking while the ring is
   /// full. Returns nullptr once Close() was called — the producer must
   /// stop. The slot keeps whatever state its previous use left behind
-  /// (that is the point: reuse its capacity).
-  T* AcquireSlot() {
+  /// (that is the point: reuse its capacity). `stalled`, when given, is
+  /// set to whether the call found the ring full and had to block
+  /// (telemetry: producer back-pressure).
+  T* AcquireSlot(bool* stalled = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (stalled != nullptr) *stalled = !closed_ && size_ >= slots_.size();
     can_produce_.wait(lock,
                       [this] { return closed_ || size_ < slots_.size(); });
     if (closed_) return nullptr;
@@ -66,9 +69,12 @@ class SpscSlotRing {
 
   /// Consumer: the oldest committed slot, blocking until one is committed
   /// or production finished. nullptr when the stream is over (finished and
-  /// drained, or closed).
-  T* Front() {
+  /// drained, or closed). `waited`, when given, is set to whether the call
+  /// found the ring empty and had to block (telemetry: consumer
+  /// starvation).
+  T* Front(bool* waited = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (waited != nullptr) *waited = !closed_ && !finished_ && size_ == 0;
     can_consume_.wait(lock,
                       [this] { return closed_ || finished_ || size_ > 0; });
     if (closed_ || size_ == 0) return nullptr;
@@ -99,8 +105,14 @@ class SpscSlotRing {
   /// Number of slots.
   std::size_t capacity() const { return slots_.size(); }
 
+  /// Committed-but-unpopped slots right now (telemetry: ring occupancy).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable can_produce_;
   std::condition_variable can_consume_;
   std::vector<T> slots_;

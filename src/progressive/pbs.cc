@@ -10,10 +10,10 @@ PbsEmitter::PbsEmitter(const ProfileStore& store,
                        const BlockCollection& blocks,
                        const PbsOptions& options)
     : store_(store),
-      scheduled_(BlockScheduling(blocks)),
+      scheduled_(BlockScheduling(blocks, options.telemetry)),
       index_(scheduled_, store.size()),
       weighter_(scheduled_, index_, store, options.scheme,
-                options.num_threads) {}
+                options.num_threads, options.telemetry) {}
 
 void PbsEmitter::ProcessBlock(BlockId id, ComparisonList& out) {
   out.Clear();

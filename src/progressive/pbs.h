@@ -5,6 +5,7 @@
 #include "blocking/profile_index.h"
 #include "core/profile_store.h"
 #include "metablocking/edge_weighting.h"
+#include "obs/telemetry.h"
 #include "progressive/comparison_list.h"
 #include "progressive/emitter.h"
 
@@ -27,6 +28,9 @@ struct PbsOptions {
   /// Threads for the initialization phase (the kEjs degree pass; the rest
   /// of PBS initialization is already lazy). Emission stays sequential.
   std::size_t num_threads = 1;
+  /// Telemetry sink for the initialization phase timers
+  /// ("block_scheduling", "edge_weighting").
+  obs::TelemetryScope telemetry;
 };
 
 /// The PBS emitter.

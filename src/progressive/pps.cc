@@ -25,10 +25,11 @@ PpsEmitter::PpsEmitter(const ProfileStore& store, BlockCollection blocks,
       blocks_(std::move(blocks)),
       index_(blocks_, store.size()),
       weighter_(blocks_, index_, store, options.scheme,
-                options.num_threads),
+                options.num_threads, options.telemetry),
       options_(options),
       checked_(store.size(), false),
       weights_(store.size(), 0.0) {
+  obs::ScopedPhase phase(options_.telemetry, "profile_scheduling");
   touched_.reserve(store.size());
   // Algorithm 5: one pass over every node's neighborhood computes the
   // duplication likelihood (mean incident-edge weight) and the node's

@@ -9,6 +9,7 @@
 #include "blocking/profile_index.h"
 #include "core/profile_store.h"
 #include "metablocking/edge_weighting.h"
+#include "obs/telemetry.h"
 #include "progressive/comparison_list.h"
 #include "progressive/emitter.h"
 #include "progressive/top_k.h"
@@ -41,6 +42,9 @@ struct PpsOptions {
   /// likelihoods + top comparisons). Emission stays sequential. The
   /// emitted sequence is identical at every thread count.
   std::size_t num_threads = 1;
+  /// Telemetry sink for the initialization phase timers
+  /// ("edge_weighting", "profile_scheduling").
+  obs::TelemetryScope telemetry;
 };
 
 /// The PPS emitter.

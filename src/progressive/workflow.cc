@@ -3,16 +3,27 @@
 namespace sper {
 
 BlockCollection BuildTokenWorkflowBlocks(const ProfileStore& store,
-                                         const TokenWorkflowOptions& options) {
-  TokenBlockingOptions token_blocking = options.token_blocking;
-  token_blocking.num_threads = options.num_threads;
-  BlockCollection blocks = TokenBlocking(store, token_blocking);
+                                         const TokenWorkflowOptions& options,
+                                         TokenWorkflowTiming* timing) {
+  TokenWorkflowTiming local;
+  if (timing == nullptr) timing = &local;
+  BlockCollection blocks = [&] {
+    obs::ScopedPhase phase(options.telemetry, "token_blocking",
+                           &timing->token_blocking_seconds);
+    TokenBlockingOptions token_blocking = options.token_blocking;
+    token_blocking.num_threads = options.num_threads;
+    return TokenBlocking(store, token_blocking);
+  }();
   if (options.enable_purging) {
+    obs::ScopedPhase phase(options.telemetry, "block_purging",
+                           &timing->purging_seconds);
     BlockPurgingOptions purging = options.purging;
     purging.num_threads = options.num_threads;
     blocks = BlockPurging(blocks, store.size(), purging);
   }
   if (options.enable_filtering) {
+    obs::ScopedPhase phase(options.telemetry, "block_filtering",
+                           &timing->filtering_seconds);
     BlockFilteringOptions filtering = options.filtering;
     filtering.num_threads = options.num_threads;
     blocks = BlockFiltering(blocks, filtering);

@@ -6,6 +6,7 @@
 #include "blocking/block_purging.h"
 #include "blocking/token_blocking.h"
 #include "core/profile_store.h"
+#include "obs/telemetry.h"
 
 /// \file workflow.h
 /// The Token Blocking Workflow of the paper's experimental setup (Sec. 7):
@@ -29,11 +30,24 @@ struct TokenWorkflowOptions {
   /// scan/threshold pass, filtering). Overrides the per-step num_threads
   /// knobs; the collection is identical at every thread count.
   std::size_t num_threads = 1;
+  /// Telemetry sink for the per-step phase timers (spans + gauges);
+  /// default-constructed = disabled.
+  obs::TelemetryScope telemetry;
+};
+
+/// Per-step wall-clock seconds of one workflow run (always filled, even
+/// with telemetry disabled or compiled out — feeds InitStats::phases).
+struct TokenWorkflowTiming {
+  double token_blocking_seconds = 0.0;
+  double purging_seconds = 0.0;
+  double filtering_seconds = 0.0;
 };
 
 /// Runs workflow steps 1-3 and returns the resulting block collection.
+/// When `timing` is given, fills it with the per-step breakdown.
 BlockCollection BuildTokenWorkflowBlocks(
-    const ProfileStore& store, const TokenWorkflowOptions& options = {});
+    const ProfileStore& store, const TokenWorkflowOptions& options = {},
+    TokenWorkflowTiming* timing = nullptr);
 
 }  // namespace sper
 

@@ -9,7 +9,8 @@
 //
 //   sper_cli run <dataset> --method=NAME [--seed=N] [--scale=S]
 //                [--ecmax=E] [--threads=N] [--shards=N] [--lookahead=N]
-//                [--budget=N] [--curve=FILE.csv]
+//                [--budget=N] [--curve=FILE.csv] [--metrics-json=FILE]
+//                [--trace=FILE]
 //       Run one progressive method under the paper's evaluation protocol;
 //       print the recall curve and AUC*, optionally dump the curve as CSV.
 //       --threads parallelizes the initialization phase (same output at
@@ -23,15 +24,24 @@
 //       emitted comparisons (the pay-as-you-go budget,
 //       ResolverOptions::budget; 0 = unlimited).
 //       Method names are case-insensitive ("pps" == "PPS").
+//       --metrics-json=FILE and --trace=FILE turn on telemetry for the
+//       run: the drain is served through the session layer (in slices
+//       bit-identical to the plain drain), and afterwards the metric
+//       registry is written as one JSON snapshot (per-phase init
+//       seconds, pipeline ring health, session latency histograms)
+//       and/or a Chrome trace-event JSON loadable in Perfetto /
+//       chrome://tracing.
 //       Flags are parsed strictly: a malformed or out-of-range value
 //       (e.g. --threads=abc) and an unrecognized flag name (e.g.
 //       --buget=100) are errors, never a silent fallback.
 //
 //   sper_cli inspect <dataset> [--seed=N] [--scale=S] [--threads=N]
-//                    [--shards=N] [--lookahead=N]
+//                    [--shards=N] [--lookahead=N] [--method=NAME]
 //       Dataset statistics plus Token-Blocking-Workflow block statistics;
 //       --shards adds the per-shard partition breakdown; --lookahead is
-//       reported as part of the serving configuration.
+//       reported as part of the serving configuration. Also constructs
+//       the --method resolver (default pps) and prints its per-phase
+//       initialization breakdown (per shard when sharded).
 
 #include <cctype>
 #include <cerrno>
@@ -49,6 +59,8 @@
 #include "core/store_partition.h"
 #include "datagen/datagen.h"
 #include "engine/resolver.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
 #include "eval/evaluator.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
@@ -155,6 +167,15 @@ std::string OptString(const CliArgs& args, const std::string& key,
   return it == args.options.end() ? fallback : it->second;
 }
 
+/// A file-path flag: empty when absent; an explicitly empty value
+/// ("--trace=") is an error, consistent with strict parsing.
+std::string OptPath(const CliArgs& args, const std::string& key) {
+  auto it = args.options.find(key);
+  if (it == args.options.end()) return {};
+  if (it->second.empty()) DieBadFlag(key, it->second, "a file path");
+  return it->second;
+}
+
 std::size_t OptThreads(const CliArgs& args) {
   return OptUint(args, "threads", 1, 1, ResolverOptions::kMaxThreads);
 }
@@ -241,14 +262,52 @@ MethodId ParseMethod(const std::string& name) {
   return *id;
 }
 
+/// Serves a drain through the session layer in fixed slices, so a
+/// telemetry run records per-request session histograms and one
+/// "session.resolve" span per request. Slices concatenated in ticket
+/// order are bit-identical to an un-batched drain of the same resolver
+/// (the Resolver contract), so evaluation results are unchanged.
+class SessionEmitter : public ProgressiveEmitter {
+ public:
+  static constexpr std::uint64_t kSliceBudget = 4096;
+
+  explicit SessionEmitter(std::unique_ptr<Resolver> resolver)
+      : resolver_(std::move(resolver)),
+        session_(resolver_->OpenSession()) {}
+
+  std::optional<Comparison> Next() override {
+    if (cursor_ >= slice_.comparisons.size()) {
+      if (done_) return std::nullopt;
+      slice_ = session_.Resolve({kSliceBudget, kSliceBudget});
+      cursor_ = 0;
+      // A short slice means the stream or the global budget ran out; do
+      // not come back for an extra empty request.
+      if (slice_.comparisons.size() < kSliceBudget) done_ = true;
+      if (slice_.comparisons.empty()) return std::nullopt;
+    }
+    return slice_.comparisons[cursor_++];
+  }
+
+  std::string_view name() const override { return resolver_->name(); }
+
+ private:
+  std::unique_ptr<Resolver> resolver_;
+  ResolverSession session_;
+  ResolveResult slice_;
+  std::size_t cursor_ = 0;
+  bool done_ = false;
+};
+
 int CmdRun(const CliArgs& args) {
   RequireKnownOptions(args, {"seed", "scale", "method", "ecmax", "threads",
-                             "shards", "lookahead", "budget", "curve"});
+                             "shards", "lookahead", "budget", "curve",
+                             "metrics-json", "trace"});
   if (args.positional.size() < 2 || !args.options.count("method")) {
     std::fprintf(stderr, "usage: sper_cli run <dataset> --method=NAME "
                          "[--seed=N] [--scale=S] [--ecmax=E] [--threads=N] "
                          "[--shards=N] [--lookahead=N] [--budget=N] "
-                         "[--curve=FILE.csv]\n");
+                         "[--curve=FILE.csv] [--metrics-json=FILE] "
+                         "[--trace=FILE]\n");
     return 2;
   }
   Result<DatasetBundle> dataset =
@@ -279,8 +338,23 @@ int CmdRun(const CliArgs& args) {
   }
   probe.reset();
 
+  // Telemetry is wired only after the applicability probe above, so the
+  // registry holds exactly one run's metrics.
+  const std::string metrics_path = OptPath(args, "metrics-json");
+  const std::string trace_path = OptPath(args, "trace");
+  const bool telemetry_on = !metrics_path.empty() || !trace_path.empty();
+  obs::Registry registry;
+  if (telemetry_on) config.telemetry = obs::TelemetryScope(&registry);
+
   RunResult run = evaluator.Run(
-      [&] { return MakeResolver(method, dataset.value(), config); });
+      [&]() -> std::unique_ptr<ProgressiveEmitter> {
+        std::unique_ptr<Resolver> resolver =
+            MakeResolver(method, dataset.value(), config);
+        if (!telemetry_on) return resolver;
+        // Route the drain through the session layer so the trace shows
+        // one span per resolve request (same emitted stream).
+        return std::make_unique<SessionEmitter>(std::move(resolver));
+      });
 
   if (config.num_shards > 1) {
     std::printf("sharded serving: %zu hash shards, merged emission\n",
@@ -328,16 +402,25 @@ int CmdRun(const CliArgs& args) {
     std::printf("curve written to %s (%zu points)\n", curve_path.c_str(),
                 run.curve.size());
   }
+  if (!metrics_path.empty()) {
+    if (!registry.WriteSnapshotJson(metrics_path)) return 1;
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!registry.WriteTraceJson(trace_path)) return 1;
+    std::printf("trace written to %s (%zu spans)\n", trace_path.c_str(),
+                registry.num_spans());
+  }
   return 0;
 }
 
 int CmdInspect(const CliArgs& args) {
   RequireKnownOptions(args, {"seed", "scale", "threads", "shards",
-                             "lookahead"});
+                             "lookahead", "method"});
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: sper_cli inspect <dataset> [--seed=N] "
                          "[--scale=S] [--threads=N] [--shards=N] "
-                         "[--lookahead=N]\n");
+                         "[--lookahead=N] [--method=NAME]\n");
     return 2;
   }
   Result<DatasetBundle> dataset =
@@ -395,6 +478,33 @@ int CmdInspect(const CliArgs& args) {
     }
     table.Print();
   }
+
+  // Per-phase initialization breakdown of the requested method: build
+  // the resolver once with a telemetry scope and print
+  // InitStats::phases (per shard when sharded).
+  const MethodId method = ParseMethod(OptString(args, "method", "pps"));
+  MethodConfig config;
+  config.num_threads = OptThreads(args);
+  config.num_shards = num_shards;
+  config.lookahead = lookahead;
+  obs::Registry registry;
+  config.telemetry = obs::TelemetryScope(&registry);
+  std::unique_ptr<Resolver> resolver = MakeResolver(method, ds, config);
+  if (resolver == nullptr) {
+    std::printf("\n%s init breakdown: method not applicable to %s "
+                "(no schema-based blocking key)\n",
+                std::string(ToString(method)).c_str(), ds.name.c_str());
+    return 0;
+  }
+  const InitStats& stats = resolver->init_stats();
+  std::printf("\n%s init breakdown (%.3fs total):\n",
+              std::string(ToString(method)).c_str(), stats.init_seconds);
+  TextTable breakdown({"shard", "phase", "seconds"});
+  for (const InitPhase& phase : stats.phases) {
+    breakdown.AddRow({std::to_string(phase.shard), phase.name,
+                      FormatDouble(phase.seconds, 4)});
+  }
+  breakdown.Print();
   return 0;
 }
 
