@@ -4,18 +4,23 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/comparison.h"
+#include "core/status.h"
+#include "parallel/cancel.h"
 #include "progressive/emitter.h"
 
 /// \file engine.h
 /// The abstract engine interface of the serving layer. Every engine —
 /// plain (`ProgressiveEngine`), sharded (`ShardedEngine`), and whatever
 /// comes next — is a `ProgressiveEmitter` plus the serving contract the
-/// `Resolver` builds on: a pay-as-you-go budget, an emission counter and
-/// unified initialization diagnostics. `BudgetedEngine` implements that
-/// contract once, so concrete engines only provide the unbudgeted stream.
+/// `Resolver` builds on: a pay-as-you-go budget, an emission counter,
+/// unified initialization diagnostics, and the robustness contract —
+/// cancellable pulls (Pull), sticky failure containment (status), and
+/// graceful teardown (Drain). `BudgetedEngine` implements that contract
+/// once, so concrete engines only provide the unbudgeted stream.
 
 namespace sper {
 
@@ -50,11 +55,24 @@ struct InitStats {
   std::vector<InitPhase> phases;
 };
 
+/// Outcome of one Engine::Pull.
+enum class PullStatus {
+  kOk,         // `out` holds the next comparison of the stream
+  kExhausted,  // stream over (source drained, budget spent, or engine
+               // drained) — terminal for this request AND the stream
+  kCancelled,  // the token fired first; the stream is fully intact and the
+               // next Pull (any token) continues bit-identically
+  kError,      // the engine is poisoned — see status(); terminal, sticky
+};
+
 /// The engine interface: a ranked comparison stream (Next/name, inherited
-/// from ProgressiveEmitter) plus budget accounting and init diagnostics.
+/// from ProgressiveEmitter) plus budget accounting, init diagnostics, and
+/// the robustness contract (cancellable pulls, sticky status, drain).
 ///
-/// Engines are NOT thread-safe: one consumer drains Next() at a time
-/// (`ResolverSession` serializes concurrent requests on top of this).
+/// Engines are NOT thread-safe: one consumer drains Next()/Pull() at a
+/// time (`ResolverSession` serializes concurrent requests on top of
+/// this). Drain() must likewise be externally serialized against pulls —
+/// the Resolver does so via its admission queue.
 class Engine : public ProgressiveEmitter {
  public:
   /// Comparisons emitted so far.
@@ -69,20 +87,45 @@ class Engine : public ProgressiveEmitter {
 
   /// Number of hash shards serving the stream (1 for a plain engine).
   virtual std::size_t num_shards() const = 0;
+
+  /// The cancellable pull: like Next(), but gives up (kCancelled) when
+  /// `token` fires at a batch boundary, and reports producer failures as
+  /// kError instead of throwing. A null token never fires, making this a
+  /// strict superset of Next().
+  virtual PullStatus Pull(Comparison& out, const CancelToken& token) = 0;
+
+  /// Why the engine is poisoned; ok() while healthy. Sticky: once a
+  /// producer failure is contained here, every later Pull returns kError
+  /// with this same status.
+  virtual const Status& status() const = 0;
+
+  /// Stops the stream for good: abandons buffered batches, shuts down
+  /// and joins any producer tasks, and makes every later Pull return
+  /// kExhausted. Idempotent; must not race Pull (see class comment).
+  virtual void Drain() = 0;
 };
 
 /// Implements the budget and stats accounting of the Engine contract once:
-/// Next() charges the budget and counts emissions, concrete engines only
-/// implement NextUnbudgeted(). Derived constructors fill `stats_` and set
-/// `budget_` (0 = unlimited).
+/// Pull() charges the budget, counts emissions, and short-circuits the
+/// poisoned and drained states; concrete engines only implement
+/// PullUnbudgeted(). Derived constructors fill `stats_` and set `budget_`
+/// (0 = unlimited).
 class BudgetedEngine : public Engine {
  public:
   /// Emission phase: the next best comparison, honoring the budget.
   std::optional<Comparison> Next() final {
-    if (BudgetExhausted()) return std::nullopt;
-    std::optional<Comparison> next = NextUnbudgeted();
-    if (next.has_value()) ++emitted_;
-    return next;
+    Comparison out;
+    return Pull(out, CancelToken()) == PullStatus::kOk
+               ? std::optional<Comparison>(out)
+               : std::nullopt;
+  }
+
+  PullStatus Pull(Comparison& out, const CancelToken& token) final {
+    if (!status_.ok()) return PullStatus::kError;
+    if (drained_ || BudgetExhausted()) return PullStatus::kExhausted;
+    const PullStatus pulled = PullUnbudgeted(out, token);
+    if (pulled == PullStatus::kOk) ++emitted_;
+    return pulled;
   }
 
   std::uint64_t emitted() const final { return emitted_; }
@@ -93,14 +136,24 @@ class BudgetedEngine : public Engine {
 
   const InitStats& init_stats() const final { return stats_; }
 
+  const Status& status() const final { return status_; }
+
  protected:
   /// The next comparison of the underlying stream, ignoring the budget.
-  virtual std::optional<Comparison> NextUnbudgeted() = 0;
+  /// Must honor the Pull contract: check `token` at batch granularity,
+  /// contain failures by setting `status_` and returning kError.
+  virtual PullStatus PullUnbudgeted(Comparison& out,
+                                    const CancelToken& token) = 0;
 
   /// Filled by the derived constructor (the initialization phase).
   InitStats stats_;
-  /// Maximum emissions before Next() returns nullopt; 0 = unlimited.
+  /// Maximum emissions before the stream reads as exhausted; 0 =
+  /// unlimited.
   std::uint64_t budget_ = 0;
+  /// Sticky poison; set (once) by PullUnbudgeted on producer failure.
+  Status status_ = Status::Ok();
+  /// Set by Drain() implementations; flips the stream to kExhausted.
+  bool drained_ = false;
 
  private:
   std::uint64_t emitted_ = 0;

@@ -1,10 +1,12 @@
 #include "engine/progressive_engine.h"
 
 #include <cctype>
+#include <exception>
 #include <string>
 #include <utility>
 
 #include "core/macros.h"
+#include "obs/fault_injection.h"
 #include "progressive/ls_psn.h"
 #include "progressive/psn.h"
 #include "progressive/sa_psn.h"
@@ -150,10 +152,17 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
   // batch-refilling methods expose the refill boundary; the rest keep the
   // serial path regardless of the option.
   batch_source_ = dynamic_cast<BatchSource*>(inner_.get());
+  fault_site_ = options_.instance_label.empty()
+                    ? "refill"
+                    : "refill." + options_.instance_label;
   if (options_.lookahead > 0 && batch_source_ != nullptr) {
     if (emission_pool == nullptr) {
       owned_emission_pool_ = std::make_unique<ThreadPool>(1);
       emission_pool = owned_emission_pool_.get();
+      if (scope.enabled()) {
+        owned_emission_pool_->set_dropped_exceptions_counter(
+            scope.counter("pool.dropped_exceptions"));
+      }
     }
     // Refill batches can be tiny (a PPS profile contributes at most kmax
     // and usually far fewer comparisons), so the producer coalesces
@@ -183,7 +192,7 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
           } while (out.remaining() < kMinBatchItems);
           return !out.Empty();
         },
-        scope.enabled() ? &pipeline_metrics_ : nullptr);
+        scope.enabled() ? &pipeline_metrics_ : nullptr, fault_site_);
     pipeline_->Start(*emission_pool);
   }
 
@@ -195,7 +204,24 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
   }
 }
 
-std::optional<Comparison> ProgressiveEngine::PipelinedNext() {
+PullStatus ProgressiveEngine::Poison(std::size_t batch_index,
+                                     std::exception_ptr error) {
+  std::string what = "unknown error";
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
+  const std::string& label = options_.instance_label;
+  status_ = Status::Internal(
+      "refill producer failed (" + (label.empty() ? "engine" : label) +
+      ", batch " + std::to_string(batch_index) + "): " + what);
+  return PullStatus::kError;
+}
+
+PullStatus ProgressiveEngine::PipelinedPull(Comparison& out,
+                                            const CancelToken& token) {
   // front_ caches the slot being drained so the ring (and its mutex) is
   // only touched once per batch, not once per comparison.
   while (front_ == nullptr || front_->Empty()) {
@@ -203,14 +229,66 @@ std::optional<Comparison> ProgressiveEngine::PipelinedNext() {
       pipeline_->PopFront();  // batch drained: recycle the slot
       front_ = nullptr;
     }
-    front_ = pipeline_->Front();
-    if (front_ == nullptr) return std::nullopt;  // exhausted
+    bool expired = false;
+    front_ = pipeline_->FrontUntil(token, &expired);
+    if (front_ == nullptr) {
+      if (expired) return PullStatus::kCancelled;
+      // End of stream — clean exhaustion or a contained producer death.
+      EmissionPipelineError error = pipeline_->error();
+      if (error.exception != nullptr) {
+        return Poison(error.batch_index, std::move(error.exception));
+      }
+      return PullStatus::kExhausted;
+    }
   }
-  return front_->PopFirst();
+  out = front_->PopFirst();
+  return PullStatus::kOk;
 }
 
-std::optional<Comparison> ProgressiveEngine::NextUnbudgeted() {
-  return pipeline_ != nullptr ? PipelinedNext() : inner_->Next();
+PullStatus ProgressiveEngine::SerialPull(Comparison& out,
+                                         const CancelToken& token) {
+  if (batch_source_ != nullptr) {
+    // Inline-refill reference path of the batch methods: identical
+    // sequence to inner_->Next() per the BatchSource contract, but with
+    // the cancellation check and failure containment at the refill
+    // boundary (a refill is the unit of work a token can skip without
+    // corrupting method state).
+    while (serial_batch_.Empty()) {
+      if (token.valid() && token.cancelled()) return PullStatus::kCancelled;
+      try {
+        SPER_FAULT_HIT(fault_site_);
+        if (!batch_source_->ProduceBatch(serial_batch_)) {
+          return PullStatus::kExhausted;
+        }
+        ++serial_batch_index_;
+      } catch (...) {
+        return Poison(serial_batch_index_, std::current_exception());
+      }
+    }
+    out = serial_batch_.PopFirst();
+    return PullStatus::kOk;
+  }
+  // Sort-based methods: every Next() is one bounded unit of work.
+  if (token.valid() && token.cancelled()) return PullStatus::kCancelled;
+  try {
+    std::optional<Comparison> next = inner_->Next();
+    if (!next.has_value()) return PullStatus::kExhausted;
+    out = *next;
+    return PullStatus::kOk;
+  } catch (...) {
+    return Poison(serial_batch_index_, std::current_exception());
+  }
+}
+
+PullStatus ProgressiveEngine::PullUnbudgeted(Comparison& out,
+                                             const CancelToken& token) {
+  return pipeline_ != nullptr ? PipelinedPull(out, token)
+                              : SerialPull(out, token);
+}
+
+void ProgressiveEngine::Drain() {
+  drained_ = true;
+  if (pipeline_ != nullptr) pipeline_->Shutdown();
 }
 
 }  // namespace sper

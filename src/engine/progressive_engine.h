@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/profile_store.h"
@@ -90,6 +91,10 @@ struct EngineOptions {
   /// either way. ShardedEngine hands each shard a "shard<S>."-prefixed
   /// sub-scope of the resolver's scope.
   obs::TelemetryScope telemetry;
+  /// Names this engine instance in contained-failure messages and
+  /// fault-injection seams ("shard0" makes the refill seam
+  /// "refill.shard0"); empty = a plain unlabeled engine ("refill").
+  std::string instance_label;
 };
 
 /// DEPRECATED alias for the unified InitStats (engine/engine.h); kept for
@@ -126,19 +131,38 @@ class ProgressiveEngine : public BudgetedEngine {
   /// A plain engine serves one logical shard.
   std::size_t num_shards() const override { return 1; }
 
+  /// Stops the stream: shuts down the emission pipeline (joining its
+  /// producer task) and flips the engine to exhausted. Idempotent.
+  void Drain() override;
+
  private:
   /// The inner method's next comparison (pipelined or inline refills);
-  /// budget accounting lives in BudgetedEngine::Next().
-  std::optional<Comparison> NextUnbudgeted() override;
+  /// budget and poison accounting live in BudgetedEngine::Pull().
+  PullStatus PullUnbudgeted(Comparison& out,
+                            const CancelToken& token) override;
 
   /// Pops the next comparison off the pipeline's completed batches.
-  std::optional<Comparison> PipelinedNext();
+  PullStatus PipelinedPull(Comparison& out, const CancelToken& token);
+
+  /// The inline-refill reference path: for the batch methods the engine
+  /// drives ProduceBatch itself (same sequence per the BatchSource
+  /// contract) so the token check, fault seam, and failure containment
+  /// sit at the true refill boundary; sort-based methods pull Next().
+  PullStatus SerialPull(Comparison& out, const CancelToken& token);
+
+  /// Contains a producer/refill failure: sticky status with instance
+  /// label and batch cursor (the satellite fix for "rethrow loses
+  /// origin").
+  PullStatus Poison(std::size_t batch_index, std::exception_ptr error);
 
   EngineOptions options_;
   std::unique_ptr<ProgressiveEmitter> inner_;
   /// inner_ viewed through its refill-batch capability; nullptr for the
   /// sort-based methods.
   BatchSource* batch_source_ = nullptr;
+  /// Fault-injection seam name of this engine's refill boundary
+  /// ("refill" or "refill.<instance_label>").
+  std::string fault_site_;
   /// Registry sinks of the emission pipeline; must be declared before
   /// pipeline_ (the pipeline holds a pointer to it for its lifetime).
   EmissionPipelineMetrics pipeline_metrics_;
@@ -150,6 +174,11 @@ class ProgressiveEngine : public BudgetedEngine {
   /// The ring slot Next() is draining (owned by the pipeline); caching it
   /// keeps ring synchronization off the per-comparison path.
   ComparisonList* front_ = nullptr;
+  /// The serial path's current refill batch (batch methods, lookahead 0);
+  /// persists across cancelled pulls so the stream continues losslessly.
+  ComparisonList serial_batch_;
+  /// Refill batches the serial path has produced (error context).
+  std::size_t serial_batch_index_ = 0;
 };
 
 }  // namespace sper

@@ -1,11 +1,13 @@
 #include "engine/resolver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
 #include "engine/progressive_engine.h"
 #include "engine/sharded_engine.h"
+#include "obs/fault_injection.h"
 
 namespace sper {
 
@@ -67,6 +69,10 @@ Resolver::Resolver(ResolverOptions options, std::unique_ptr<Engine> engine)
     service_ns_ = scope.histogram("session.service_ns");
     slice_comparisons_ = scope.histogram("session.slice_comparisons");
     requests_ = scope.counter("session.requests");
+    deadline_exceeded_ = scope.counter("session.deadline_exceeded");
+    cancelled_ = scope.counter("session.cancelled");
+    rejected_ = scope.counter("session.rejected");
+    errors_ = scope.counter("session.errors");
   }
 }
 
@@ -90,12 +96,31 @@ Result<std::unique_ptr<Resolver>> Resolver::Create(const ProfileStore& store,
 ResolveResult Resolver::Serve(const ResolveRequest& request) {
   const obs::Stopwatch arrival;
   ResolveResult result;
+
+  // Draining resolvers reject before taking a ticket (no queue slot, no
+  // stream consumption). Requests that lose the race — ticket taken just
+  // as Drain() begins — are caught by the post-ticket re-check below.
+  if (draining_.load(std::memory_order_seq_cst)) {
+    result.status = Status::FailedPrecondition("resolver is draining");
+    if (rejected_ != nullptr) rejected_->Add();
+    return result;
+  }
+
+  // The request's deadline starts at arrival: queue wait counts, because
+  // the paper's interactive consumer cares about total latency. The
+  // derived token also fires if the caller's own token does.
+  CancelToken token = request.cancel;
+  if (request.deadline_ms > 0) {
+    token = token.WithDeadline(std::chrono::milliseconds(request.deadline_ms));
+  }
+
   // Ticketed FIFO admission: the ticket is taken atomically on arrival,
   // before the serve mutex, and the draw waits until every earlier ticket
   // has been served — a fair ticket lock, so a request that arrives later
   // (larger ticket) can never barge past an earlier one even if the OS
-  // hands it the mutex first.
-  result.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  // hands it the mutex first. seq_cst pairs with Drain(): see the header.
+  result.ticket = next_ticket_.fetch_add(1, std::memory_order_seq_cst);
+  const bool rejected = draining_.load(std::memory_order_seq_cst);
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return now_serving_ == result.ticket; });
   const obs::Stopwatch::TimePoint admitted = obs::Stopwatch::Now();
@@ -115,6 +140,24 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
     }
   } guard{this};
 
+  if (rejected) {
+    // Drain began between the fast-path check and the ticket: serve an
+    // empty rejected slice — the guard still advances now_serving_, which
+    // is what lets Drain's horizon wait terminate.
+    result.status = Status::FailedPrecondition("resolver is draining");
+    if (rejected_ != nullptr) rejected_->Add();
+    return result;
+  }
+  if (poison_reported_) {
+    // The engine's failure was already surfaced to an earlier request;
+    // later ones get the stable "this resolver is dead" answer.
+    result.status = Status::FailedPrecondition(
+        "resolver engine poisoned: " + engine_->status().message());
+    if (rejected_ != nullptr) rejected_->Add();
+    return result;
+  }
+  SPER_FAULT_HIT("session.admit");
+
   std::uint64_t want = request.budget;
   if (request.max_batch != 0) {
     want = std::min<std::uint64_t>(want, request.max_batch);
@@ -123,19 +166,48 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
   // it"; the slice grows normally past the initial reservation.
   result.comparisons.reserve(
       static_cast<std::size_t>(std::min<std::uint64_t>(want, 65536)));
+
+  const auto record_cut = [&] {
+    if (token.reason() == CancelReason::kDeadline) {
+      result.deadline_exceeded = true;
+      if (deadline_exceeded_ != nullptr) deadline_exceeded_->Add();
+    } else {
+      result.cancelled = true;
+      if (cancelled_ != nullptr) cancelled_->Add();
+    }
+  };
+
+  std::uint64_t tick = 0;
   while (result.comparisons.size() < want) {
-    std::optional<Comparison> next = engine_->Next();
-    if (!next.has_value()) {
-      // nullopt is either the global budget running out mid-slice or the
-      // method running dry; tell the caller which.
+    // The engine checks the token at its own batch boundaries, but a warm
+    // pipeline can serve thousands of pulls without hitting one — this
+    // stride check bounds how far past its deadline a request can run.
+    if (token.valid() && (tick++ & 15) == 0 && token.cancelled()) {
+      record_cut();
+      break;
+    }
+    Comparison next;
+    const PullStatus pulled = engine_->Pull(next, token);
+    if (pulled == PullStatus::kOk) {
+      result.comparisons.push_back(next);
+      continue;
+    }
+    if (pulled == PullStatus::kExhausted) {
+      // Exhaustion is either the global budget running out mid-slice or
+      // the method running dry; tell the caller which.
       if (engine_->BudgetExhausted()) {
         result.budget_exhausted = true;
       } else {
         result.stream_exhausted = true;
       }
-      break;
+    } else if (pulled == PullStatus::kCancelled) {
+      record_cut();
+    } else {  // kError: the first observer reports the contained failure
+      result.status = engine_->status();
+      poison_reported_ = true;
+      if (errors_ != nullptr) errors_->Add();
     }
-    result.comparisons.push_back(*next);
+    break;
   }
   // A request admitted after the global budget is spent (including a
   // zero-budget probe) still learns so without drawing.
@@ -153,6 +225,32 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
             std::to_string(result.comparisons.size()) + "}");
   }
   return result;  // the guard admits the next ticket
+}
+
+void Resolver::Drain() {
+  // One drainer at a time; a second concurrent Drain() blocks here and
+  // returns only after the stream is actually down.
+  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  const obs::Stopwatch watch;
+  draining_.store(true, std::memory_order_seq_cst);
+  // Every ticket at or past this horizon observes draining_ == true and
+  // rejects itself (see the seq_cst argument in the header); every ticket
+  // before it is let finish — or cut itself at its own deadline.
+  const std::uint64_t horizon = next_ticket_.load(std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return now_serving_ >= horizon; });
+  }
+  if (!engine_drained_) {
+    engine_->Drain();  // shuts down + joins shard producers
+    engine_drained_ = true;
+    options_.telemetry.RecordSpan("session.drain", watch.start(),
+                                  obs::Stopwatch::Now());
+    if (obs::Counter* drains = options_.telemetry.counter("session.drains");
+        drains != nullptr) {
+      drains->Add();
+    }
+  }
 }
 
 }  // namespace sper

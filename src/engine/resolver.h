@@ -18,6 +18,7 @@
 #include "engine/method.h"
 #include "metablocking/edge_weighting.h"
 #include "obs/telemetry.h"
+#include "parallel/cancel.h"
 #include "progressive/workflow.h"
 #include "sorted/neighbor_list.h"
 
@@ -128,6 +129,21 @@ struct ResolveRequest {
   /// `budget`. Budget beyond the cap is NOT spent — pay only for what is
   /// delivered.
   std::size_t max_batch = 0;
+
+  /// Wall-clock deadline in milliseconds, measured from *arrival* (queue
+  /// wait counts — an interactive client cares about total latency, not
+  /// service time); 0 = none. An expired request returns whatever partial
+  /// slice it drew with `deadline_exceeded` set; nothing is torn down and
+  /// the next ticket continues the stream bit-identically. FIFO admission
+  /// is never skipped: an expired queued request still takes its turn,
+  /// it just draws nothing once admitted.
+  std::uint64_t deadline_ms = 0;
+
+  /// Optional external cancellation: when this token fires mid-slice the
+  /// request returns its partial slice with `cancelled` set (same
+  /// lossless-continuation guarantee as a deadline). Combined with
+  /// deadline_ms, whichever fires first wins. Default = never fires.
+  CancelToken cancel;
 };
 
 /// One served slice of the resolver's ranked stream.
@@ -148,6 +164,21 @@ struct ResolveResult {
   /// The resolver's global budget (ResolverOptions::budget) ran out
   /// during, or before, this slice.
   bool budget_exhausted = false;
+
+  /// The request's deadline passed before the slice filled; `comparisons`
+  /// holds the partial slice drawn so far. The stream is intact.
+  bool deadline_exceeded = false;
+
+  /// The request's CancelToken fired before the slice filled; partial
+  /// slice as above. The stream is intact.
+  bool cancelled = false;
+
+  /// Why the request could not be (fully) served. Ok for every normal
+  /// slice, including deadline/cancel/exhaustion cuts. FailedPrecondition
+  /// when the request was rejected (resolver draining, or the engine
+  /// already poisoned); Internal — with shard and batch context — for the
+  /// request that first observes a contained producer failure.
+  Status status = Status::Ok();
 };
 
 class ResolverSession;
@@ -212,8 +243,25 @@ class Resolver : public ProgressiveEmitter {
   /// Serves one request (ResolverSession::Resolve delegates here): takes
   /// the next admission ticket, waits until every earlier ticket has been
   /// served, then draws up to min(budget, max_batch) comparisons off the
-  /// shared stream. Blocking; safe from concurrent threads.
+  /// shared stream — giving up losslessly at the request's deadline or
+  /// cancellation. Blocking; safe from concurrent threads, including
+  /// concurrently with Drain(). After Drain() began, requests are
+  /// rejected with FailedPrecondition (empty slice, no stream consumed).
   ResolveResult Serve(const ResolveRequest& request);
+
+  /// Graceful drain: stops admitting new requests, waits until every
+  /// already-ticketed request finished (or cut itself at its deadline),
+  /// then drains the engine — shutting down and joining shard producers.
+  /// Blocking; idempotent; safe to race with concurrent Serve() calls
+  /// (each request is either fully served or cleanly rejected, never
+  /// half-drawn). The resolver stays queryable afterwards: Serve()
+  /// rejects, Next() returns nullopt.
+  void Drain();
+
+  /// True once Drain() has begun (new requests are being rejected).
+  bool draining() const {
+    return draining_.load(std::memory_order_seq_cst);
+  }
 
  private:
   Resolver(ResolverOptions options, std::unique_ptr<Engine> engine);
@@ -228,16 +276,41 @@ class Resolver : public ProgressiveEmitter {
   obs::Histogram* service_ns_ = nullptr;
   obs::Histogram* slice_comparisons_ = nullptr;
   obs::Counter* requests_ = nullptr;
+  /// Robustness counters: requests cut by deadline / explicit cancel,
+  /// requests rejected (draining or poisoned), requests that observed an
+  /// engine error.
+  obs::Counter* deadline_exceeded_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* errors_ = nullptr;
 
   /// Ticketed FIFO admission over the shared stream. The ticket is taken
   /// atomically on arrival — *before* the serve mutex — so admission
   /// order is arrival order even when the mutex itself would let a later
   /// caller barge past a longer-waiting one; `cv_` then admits waiters
   /// strictly in ticket order.
+  ///
+  /// Drain handshake (why seq_cst): Serve re-checks `draining_` *after*
+  /// its ticket fetch_add, and Drain loads the ticket horizon *after* its
+  /// `draining_` store. In the seq_cst total order, either the request's
+  /// ticket precedes the horizon load (Drain waits for it) or the store
+  /// precedes the re-check (the request sees draining and rejects itself,
+  /// still advancing now_serving_) — so no admitted request can slip past
+  /// a drain, and no drain can strand a ticketed waiter.
   std::atomic<std::uint64_t> next_ticket_{0};
   std::mutex mutex_;
   std::condition_variable cv_;
   std::uint64_t now_serving_ = 0;
+
+  std::atomic<bool> draining_{false};
+  /// Serializes concurrent Drain() calls; the engine is drained exactly
+  /// once, and a second Drain() returns only after the first finished.
+  std::mutex drain_mutex_;
+  bool engine_drained_ = false;  // guarded by drain_mutex_
+  /// Set (under mutex_) once a request observed the engine's sticky
+  /// error; later requests are rejected with FailedPrecondition instead
+  /// of re-reporting the Internal status.
+  bool poison_reported_ = false;
 };
 
 /// A client's handle on a Resolver's stream: per-session accounting over

@@ -1,9 +1,11 @@
 #include "engine/sharded_engine.h"
 
 #include <algorithm>
+#include <exception>
 #include <string>
 #include <utility>
 
+#include "obs/fault_injection.h"
 #include "obs/telemetry.h"
 #include "parallel/thread_pool.h"
 
@@ -75,6 +77,10 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
       active_shards > 0) {
     if (active_shards <= kMaxPipelinedShards) {
       emission_pool_ = std::make_unique<ThreadPool>(active_shards);
+      if (scope.enabled()) {
+        emission_pool_->set_dropped_exceptions_counter(
+            scope.counter("pool.dropped_exceptions"));
+      }
     } else {
       inner.lookahead = 0;
     }
@@ -82,10 +88,13 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
 
   // Each shard gets a "shard<S>."-prefixed sub-scope, so concurrent
   // shard constructions write disjoint metric names (registry creation is
-  // mutex-protected either way).
+  // mutex-protected either way). The matching instance label makes a
+  // shard's contained failures and fault seams attributable
+  // ("refill.shard<S>").
   const auto shard_options = [&](std::size_t s) {
     EngineOptions shard_inner = inner;
     shard_inner.telemetry = scope.Sub("shard" + std::to_string(s));
+    shard_inner.instance_label = "shard" + std::to_string(s);
     return shard_inner;
   };
   if (concurrency <= 1) {
@@ -121,12 +130,28 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
     }
     ProgressiveEngine* engine = engines_[s].get();
     const std::vector<ProfileId>* to_global = &shards_[s].to_global;
-    merge_.AddStream([engine, to_global]() -> std::optional<Comparison> {
-      std::optional<Comparison> local = engine->Next();
-      if (!local.has_value()) return std::nullopt;
-      return Comparison((*to_global)[local->i], (*to_global)[local->j],
-                        local->weight);
-    });
+    // A shard pull that gives up must come back as kBlocked — kExhausted
+    // would drop the shard from the merge permanently. Errors also map to
+    // kBlocked (state intact) after adopting the shard's sticky status;
+    // PullUnbudgeted disambiguates the two via status_.
+    merge_.AddStream(KWayMerge<Comparison, ByWeightDesc>::Stream(
+        [this, engine, to_global](Comparison& out) {
+          Comparison local;
+          switch (engine->Pull(local, request_token_)) {
+            case PullStatus::kOk:
+              out = Comparison((*to_global)[local.i], (*to_global)[local.j],
+                               local.weight);
+              return MergeStatus::kItem;
+            case PullStatus::kExhausted:
+              return MergeStatus::kExhausted;
+            case PullStatus::kCancelled:
+              return MergeStatus::kBlocked;
+            case PullStatus::kError:
+              if (status_.ok()) status_ = engine->status();
+              return MergeStatus::kBlocked;
+          }
+          return MergeStatus::kExhausted;
+        }));
     if (scope.enabled()) {
       draw_counters_.push_back(
           scope.counter("merge.shard" + std::to_string(s) + ".draws"));
@@ -141,12 +166,48 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
   }
 }
 
-std::optional<Comparison> ShardedEngine::NextUnbudgeted() {
-  std::optional<Comparison> next = merge_.Next();
-  if (next.has_value() && !draw_counters_.empty()) {
-    draw_counters_[merge_.last_stream()]->Add();
+PullStatus ShardedEngine::PullUnbudgeted(Comparison& out,
+                                         const CancelToken& token) {
+  request_token_ = token;
+  try {
+    SPER_FAULT_HIT("merge.draw");
+    switch (merge_.Next(out)) {
+      case MergeStatus::kItem:
+        if (!draw_counters_.empty()) {
+          draw_counters_[merge_.last_stream()]->Add();
+        }
+        return PullStatus::kOk;
+      case MergeStatus::kExhausted:
+        return PullStatus::kExhausted;
+      case MergeStatus::kBlocked:
+        // Either the token fired mid-pull (merge state intact, the next
+        // request resumes losslessly) or a shard poisoned itself and its
+        // status was adopted above.
+        return status_.ok() ? PullStatus::kCancelled : PullStatus::kError;
+    }
+  } catch (const std::exception& e) {
+    if (status_.ok()) {
+      status_ = Status::Internal(std::string("merge draw failed: ") +
+                                 e.what());
+    }
+    return PullStatus::kError;
+  } catch (...) {
+    if (status_.ok()) {
+      status_ = Status::Internal("merge draw failed: unknown error");
+    }
+    return PullStatus::kError;
   }
-  return next;
+  return PullStatus::kExhausted;
+}
+
+void ShardedEngine::Drain() {
+  drained_ = true;
+  for (std::unique_ptr<ProgressiveEngine>& engine : engines_) {
+    if (engine != nullptr) engine->Drain();
+  }
+  // With every pipeline shut down the workers are idle; joining them here
+  // (instead of at destruction) is what "graceful drain" promises.
+  emission_pool_.reset();
 }
 
 std::string_view ShardedEngine::name() const {

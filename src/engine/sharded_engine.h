@@ -89,10 +89,18 @@ class ShardedEngine : public BudgetedEngine {
   /// Number of shards (== options.num_shards, at least 1).
   std::size_t num_shards() const override { return shards_.size(); }
 
+  /// Stops the stream: drains every shard engine (shutting down its
+  /// emission pipeline) and joins the shared producer pool. Idempotent.
+  void Drain() override;
+
  private:
   /// The globally next best comparison (original ids) off the k-way
-  /// merge; the global budget is charged in BudgetedEngine::Next().
-  std::optional<Comparison> NextUnbudgeted() override;
+  /// merge; the global budget is charged in BudgetedEngine::Pull(). A
+  /// shard pull that gives up (token fired) surfaces as kCancelled with
+  /// the merge heap, priming cursor, and pending refill intact; a shard
+  /// that poisoned itself surfaces as kError with its status adopted.
+  PullStatus PullUnbudgeted(Comparison& out,
+                            const CancelToken& token) override;
 
   ShardedEngineOptions options_;
   std::vector<StoreShard> shards_;
@@ -107,6 +115,10 @@ class ShardedEngine : public BudgetedEngine {
   /// Per-*stream* draw counters ("merge.shard<S>.draws", stream order —
   /// barren shards register no stream); empty when telemetry is off.
   std::vector<obs::Counter*> draw_counters_;
+  /// The token of the pull in flight, read by the merge-stream lambdas
+  /// (set at the top of each PullUnbudgeted; engines are single-consumer
+  /// so no synchronization is needed).
+  CancelToken request_token_;
 };
 
 }  // namespace sper

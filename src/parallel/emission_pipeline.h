@@ -6,10 +6,13 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <utility>
 
 #include "obs/clock.h"
+#include "obs/fault_injection.h"
 #include "obs/metrics.h"
+#include "parallel/cancel.h"
 #include "parallel/spsc_ring.h"
 #include "parallel/thread_pool.h"
 
@@ -50,6 +53,15 @@ struct EmissionPipelineMetrics {
   obs::Histogram* ring_occupancy = nullptr;
 };
 
+/// How a pipeline's producer died, surfaced to the consumer instead of
+/// rethrown across it: the zero-based cursor of the refill batch that was
+/// being produced, and the captured exception. `exception == nullptr`
+/// means the producer finished (or is still running) cleanly.
+struct EmissionPipelineError {
+  std::size_t batch_index = 0;
+  std::exception_ptr exception;
+};
+
 /// Runs `produce` on a pool worker, `lookahead` batches ahead of the
 /// consumer. Batch is any reusable buffer type (the engines use
 /// ComparisonList); `produce` must fill the passed batch and return false
@@ -63,12 +75,16 @@ class EmissionPipeline {
   /// least 1). Production does not start until Start(). `metrics`, when
   /// given, must outlive the pipeline; it only adds relaxed counter
   /// updates on the producer path, never extra synchronization, so the
-  /// emitted stream is identical with or without it.
+  /// emitted stream is identical with or without it. `fault_site`, when
+  /// non-empty, names the fault-injection seam fired before each refill
+  /// production (fault builds only; see obs/fault_injection.h).
   EmissionPipeline(std::size_t lookahead, Produce produce,
-                   const EmissionPipelineMetrics* metrics = nullptr)
+                   const EmissionPipelineMetrics* metrics = nullptr,
+                   std::string fault_site = {})
       : ring_(lookahead),
         produce_(std::move(produce)),
-        metrics_(metrics) {}
+        metrics_(metrics),
+        fault_site_(std::move(fault_site)) {}
 
   /// Submits the producer loop. The pool must have a worker available for
   /// the pipeline's whole lifetime: the task runs until the stream is
@@ -95,8 +111,9 @@ class EmissionPipeline {
   EmissionPipeline& operator=(const EmissionPipeline&) = delete;
 
   /// Consumer: the oldest completed batch, blocking until the producer
-  /// commits one. nullptr once the stream is exhausted and drained; if the
-  /// producer died on an exception, it is rethrown here.
+  /// commits one. nullptr once the stream is over — exhausted and drained,
+  /// shut down, or the producer died (check error() to tell the last case
+  /// apart; nothing is ever rethrown across this boundary).
   Batch* Front() {
     bool waited = false;
     Batch* front = ring_.Front(&waited);
@@ -104,13 +121,30 @@ class EmissionPipeline {
         metrics_->consumer_waits != nullptr) {
       metrics_->consumer_waits->Add();
     }
-    if (front == nullptr) {
-      std::lock_guard<std::mutex> lock(done_mutex_);
-      if (exception_ != nullptr) {
-        std::rethrow_exception(std::exchange(exception_, nullptr));
-      }
+    return front;
+  }
+
+  /// Consumer: like Front(), but gives up when `token` fires before a
+  /// batch is committed: returns nullptr with *expired = true, stream
+  /// untouched — the producer keeps running and a later Front()/
+  /// FrontUntil() resumes exactly where this one left off.
+  Batch* FrontUntil(const CancelToken& token, bool* expired) {
+    bool waited = false;
+    Batch* front = ring_.FrontUntil(token, expired, &waited);
+    if (waited && metrics_ != nullptr &&
+        metrics_->consumer_waits != nullptr) {
+      metrics_->consumer_waits->Add();
     }
     return front;
+  }
+
+  /// The error that killed the producer, if any: meaningful once Front()
+  /// returned an end-of-stream nullptr (the producer publishes it before
+  /// finishing the ring, so the consumer can never see the nullptr first).
+  /// `.exception == nullptr` means the stream ended cleanly.
+  EmissionPipelineError error() const {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    return error_;
   }
 
   /// Consumer: recycles the drained Front() batch for the producer.
@@ -118,6 +152,7 @@ class EmissionPipeline {
 
  private:
   void ProducerLoop() {
+    std::size_t batch_index = 0;
     try {
       for (;;) {
         bool stalled = false;
@@ -127,6 +162,7 @@ class EmissionPipeline {
           metrics_->producer_stalls->Add();
         }
         if (slot == nullptr) break;  // consumer closed the stream
+        SPER_FAULT_HIT(fault_site_);
         if (metrics_ == nullptr) {
           if (!produce_(*slot)) break;  // stream exhausted
         } else {
@@ -138,6 +174,7 @@ class EmissionPipeline {
           if (!more) break;  // stream exhausted
         }
         ring_.CommitSlot();
+        ++batch_index;
         if (metrics_ != nullptr) {
           if (metrics_->batches != nullptr) metrics_->batches->Add();
           if (metrics_->ring_occupancy != nullptr) {
@@ -146,26 +183,32 @@ class EmissionPipeline {
         }
       }
     } catch (...) {
+      // Publish before FinishProduction: once the consumer observes the
+      // end-of-stream nullptr, error() is guaranteed to be populated.
       std::lock_guard<std::mutex> lock(done_mutex_);
-      exception_ = std::current_exception();
+      error_ = {batch_index, std::current_exception()};
     }
     ring_.FinishProduction();
     {
+      // Notify while still holding the mutex: the moment a Shutdown()
+      // waiter can observe done_ the pipeline may be destroyed, so the
+      // notify must not touch done_cv_ after the unlock.
       std::lock_guard<std::mutex> lock(done_mutex_);
       done_ = true;
+      done_cv_.notify_all();
     }
-    done_cv_.notify_all();
   }
 
   SpscSlotRing<Batch> ring_;
   Produce produce_;
   const EmissionPipelineMetrics* metrics_ = nullptr;
+  std::string fault_site_;
   bool started_ = false;
 
-  std::mutex done_mutex_;
+  mutable std::mutex done_mutex_;
   std::condition_variable done_cv_;
   bool done_ = false;
-  std::exception_ptr exception_;
+  EmissionPipelineError error_;
 };
 
 }  // namespace sper

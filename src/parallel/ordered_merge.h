@@ -21,20 +21,39 @@
 
 namespace sper {
 
+/// What one pull from a merge stream (or from the merge itself) produced.
+enum class MergeStatus {
+  kItem,       // `out` was filled with the next element
+  kExhausted,  // the stream is over — it will never yield again
+  kBlocked,    // nothing *yet*: the pull gave up (deadline/cancel) with the
+               // stream fully intact; retrying later continues losslessly
+};
+
 /// Greedy best-head merge of K pull-based streams.
 ///
-/// Each stream is a callable `std::optional<T>()` (the ProgressiveEmitter
-/// Next() shape). Streams need not be globally sorted: the merge emits, at
-/// each step, the best head among the K current heads under `Compare`
-/// (strict "a before b"). For streams that *are* sorted this is the
-/// classic k-way ordered merge. Ties between heads go to the
-/// lowest-indexed stream, so the merge is deterministic for any inputs.
+/// Each stream is a callable `MergeStatus(T&)` that fills its argument on
+/// kItem. Streams need not be globally sorted: the merge emits, at each
+/// step, the best head among the K current heads under `Compare` (strict
+/// "a before b"). For streams that *are* sorted this is the classic k-way
+/// ordered merge. Ties between heads go to the lowest-indexed stream, so
+/// the merge is deterministic for any inputs.
+///
+/// Cancellation-safety: a stream may return kBlocked instead of blocking
+/// indefinitely. The merge then returns kBlocked itself with every piece
+/// of state intact — heads already in the heap, the priming cursor, and
+/// the pending refill — so the next Next() call retries exactly the pull
+/// that gave up. Refills are *lazy* (the popped stream is re-pulled at the
+/// start of the next call, not eagerly after the pop): the heap content at
+/// every pop is identical to the eager schedule, so the emitted sequence
+/// is bit-identical, but a pull that blocks can no longer strand an
+/// already-drawn item.
 ///
 /// Heads are pulled lazily: no stream is touched before the first Next().
+/// T must be default-constructible (it is the refill staging buffer).
 template <typename T, typename Compare = std::less<T>>
 class KWayMerge {
  public:
-  using Stream = std::function<std::optional<T>()>;
+  using Stream = std::function<MergeStatus(T&)>;
 
   explicit KWayMerge(Compare compare = Compare())
       : compare_(std::move(compare)) {}
@@ -43,6 +62,17 @@ class KWayMerge {
   void AddStream(Stream stream) {
     streams_.push_back(std::move(stream));
     draws_.push_back(0);
+  }
+
+  /// Convenience registration for simple `std::optional<T>()` streams
+  /// (the ProgressiveEmitter Next() shape) that never block.
+  void AddStream(std::function<std::optional<T>()> stream) {
+    AddStream(Stream([s = std::move(stream)](T& out) {
+      std::optional<T> head = s();
+      if (!head.has_value()) return MergeStatus::kExhausted;
+      out = std::move(*head);
+      return MergeStatus::kItem;
+    }));
   }
 
   /// Number of registered streams.
@@ -58,33 +88,71 @@ class KWayMerge {
     return last_stream_ == kNoStream ? streams_.size() : last_stream_;
   }
 
-  /// The best head among all streams, or nullopt once every stream is
-  /// exhausted. Consuming a head refills it from its own stream only.
-  /// O(log K) per call: heads live in a binary heap keyed on (Compare,
-  /// stream index) — a total order, since indices are unique, so the pop
-  /// sequence is deterministic whatever the heap's internal layout.
-  std::optional<T> Next() {
+  /// The best head among all streams. kExhausted once every stream is
+  /// exhausted; kBlocked when the pull the merge needed right now gave up
+  /// (state intact, retry later). O(log K) per emitted item: heads live
+  /// in a binary heap keyed on (Compare, stream index) — a total order,
+  /// since indices are unique, so the pop sequence is deterministic
+  /// whatever the heap's internal layout.
+  MergeStatus Next(T& out) {
     if (!primed_) {
       heap_.reserve(streams_.size());
-      for (std::size_t k = 0; k < streams_.size(); ++k) {
-        std::optional<T> head = streams_[k]();
-        if (head.has_value()) heap_.push_back({std::move(*head), k});
+      while (prime_cursor_ < streams_.size()) {
+        const std::size_t k = prime_cursor_;
+        T head;
+        switch (streams_[k](head)) {
+          case MergeStatus::kItem:
+            heap_.push_back({std::move(head), k});
+            break;
+          case MergeStatus::kExhausted:
+            break;
+          case MergeStatus::kBlocked:
+            return MergeStatus::kBlocked;  // resume priming at k next call
+        }
+        ++prime_cursor_;
       }
       std::make_heap(heap_.begin(), heap_.end(), HeapLess{compare_});
       primed_ = true;
     }
-    if (heap_.empty()) return std::nullopt;
+    if (pending_refill_ != kNoStream) {
+      T head;
+      switch (streams_[pending_refill_](head)) {
+        case MergeStatus::kItem:
+          heap_.push_back({std::move(head), pending_refill_});
+          std::push_heap(heap_.begin(), heap_.end(), HeapLess{compare_});
+          break;
+        case MergeStatus::kExhausted:
+          break;
+        case MergeStatus::kBlocked:
+          return MergeStatus::kBlocked;  // retry this refill next call
+      }
+      pending_refill_ = kNoStream;
+    }
+    if (heap_.empty()) return MergeStatus::kExhausted;
     std::pop_heap(heap_.begin(), heap_.end(), HeapLess{compare_});
     Entry best = std::move(heap_.back());
     heap_.pop_back();
     ++draws_[best.stream];
     last_stream_ = best.stream;
-    std::optional<T> refill = streams_[best.stream]();
-    if (refill.has_value()) {
-      heap_.push_back({std::move(*refill), best.stream});
-      std::push_heap(heap_.begin(), heap_.end(), HeapLess{compare_});
+    pending_refill_ = best.stream;
+    out = std::move(best.value);
+    return MergeStatus::kItem;
+  }
+
+  /// Optional-returning convenience for call sites whose streams never
+  /// block (a kBlocked pull is simply retried inline).
+  std::optional<T> Next() {
+    T out;
+    for (;;) {
+      switch (Next(out)) {
+        case MergeStatus::kItem:
+          return std::optional<T>(std::move(out));
+        case MergeStatus::kExhausted:
+          return std::nullopt;
+        case MergeStatus::kBlocked:
+          break;  // the stream already waited internally; just retry
+      }
     }
-    return std::move(best.value);
   }
 
  private:
@@ -112,6 +180,8 @@ class KWayMerge {
   std::vector<Entry> heap_;
   std::vector<std::uint64_t> draws_;
   std::size_t last_stream_ = kNoStream;
+  std::size_t prime_cursor_ = 0;
+  std::size_t pending_refill_ = kNoStream;
   bool primed_ = false;
 };
 

@@ -2,10 +2,14 @@
 #define SPER_PARALLEL_SPSC_RING_H_
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
 #include <vector>
+
+#include "obs/fault_injection.h"
+#include "parallel/cancel.h"
 
 /// \file spsc_ring.h
 /// Bounded single-producer/single-consumer ring of reusable slots — the
@@ -40,6 +44,7 @@ class SpscSlotRing {
   /// set to whether the call found the ring full and had to block
   /// (telemetry: producer back-pressure).
   T* AcquireSlot(bool* stalled = nullptr) {
+    SPER_FAULT_HIT("ring.acquire_slot");
     std::unique_lock<std::mutex> lock(mutex_);
     if (stalled != nullptr) *stalled = !closed_ && size_ >= slots_.size();
     can_produce_.wait(lock,
@@ -77,6 +82,34 @@ class SpscSlotRing {
     if (waited != nullptr) *waited = !closed_ && !finished_ && size_ == 0;
     can_consume_.wait(lock,
                       [this] { return closed_ || finished_ || size_ > 0; });
+    if (closed_ || size_ == 0) return nullptr;
+    return &slots_[head_];
+  }
+
+  /// Consumer: like Front(), but gives up once `token` fires — the
+  /// deadline-aware wait of the cancellable serving path. Returns the
+  /// oldest committed slot as usual; nullptr with *expired = true when
+  /// the token fired first (the ring is untouched — a later FrontUntil or
+  /// Front picks up exactly where this one left off), or nullptr with
+  /// *expired = false when the stream is over (finished and drained, or
+  /// closed). A token deadline is honored via wait_until; an explicit
+  /// Cancel() with no deadline is noticed within kCancelPollInterval.
+  T* FrontUntil(const CancelToken& token, bool* expired,
+                bool* waited = nullptr) {
+    *expired = false;
+    if (!token.valid()) return Front(waited);
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [this] { return closed_ || finished_ || size_ > 0; };
+    if (waited != nullptr) *waited = !ready();
+    while (!ready()) {
+      if (token.cancelled()) {
+        *expired = true;
+        return nullptr;
+      }
+      auto wake = CancelToken::Clock::now() + kCancelPollInterval;
+      if (token.has_deadline()) wake = std::min(wake, token.deadline());
+      can_consume_.wait_until(lock, wake, ready);
+    }
     if (closed_ || size_ == 0) return nullptr;
     return &slots_[head_];
   }

@@ -58,8 +58,18 @@ void ThreadPool::WorkerLoop() {
     }
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (exception != nullptr && first_exception_ == nullptr) {
-        first_exception_ = exception;
+      if (exception != nullptr) {
+        if (first_exception_ == nullptr) {
+          first_exception_ = exception;
+        } else {
+          // The rethrow slot is taken; make the masked failure countable
+          // instead of vanishing.
+          dropped_exceptions_.fetch_add(1, std::memory_order_relaxed);
+          if (obs::Counter* counter =
+                  dropped_counter_.load(std::memory_order_acquire)) {
+            counter->Add();
+          }
+        }
       }
       if (--in_flight_ == 0) all_done_.notify_all();
     }

@@ -1,14 +1,18 @@
 #ifndef SPER_PARALLEL_THREAD_POOL_H_
 #define SPER_PARALLEL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 /// \file thread_pool.h
 /// A minimal fixed-size worker pool with a FIFO work queue — the execution
@@ -38,11 +42,26 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have completed. If any task threw,
-  /// rethrows the first captured exception and discards the rest.
+  /// rethrows the first captured exception; later ones are counted in
+  /// dropped_exceptions() (and the optional counter sink) rather than
+  /// silently discarded.
   void Wait();
 
   /// Number of worker threads.
   std::size_t num_threads() const { return workers_.size(); }
+
+  /// Task exceptions that could not be rethrown because an earlier one
+  /// already occupied the rethrow slot. Non-zero means a failure was
+  /// masked — a health signal, not a control-flow one.
+  std::uint64_t dropped_exceptions() const {
+    return dropped_exceptions_.load(std::memory_order_relaxed);
+  }
+
+  /// Mirrors every future dropped exception into `counter` (nullptr to
+  /// detach). The counter must outlive the pool or the next call here.
+  void set_dropped_exceptions_counter(obs::Counter* counter) {
+    dropped_counter_.store(counter, std::memory_order_release);
+  }
 
  private:
   void WorkerLoop();
@@ -54,6 +73,8 @@ class ThreadPool {
   std::exception_ptr first_exception_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::atomic<std::uint64_t> dropped_exceptions_{0};
+  std::atomic<obs::Counter*> dropped_counter_{nullptr};
   std::vector<std::thread> workers_;
 };
 

@@ -165,7 +165,7 @@ TEST(EmissionPipelineTest, NeverStartedPipelineDestructsCleanly) {
       2, [](std::vector<int>&) { return false; });
 }
 
-TEST(EmissionPipelineTest, ProducerExceptionReachesTheConsumer) {
+TEST(EmissionPipelineTest, ProducerExceptionIsContainedWithBatchContext) {
   ThreadPool pool(1);
   int batches = 0;
   EmissionPipeline<std::vector<int>> pipeline(
@@ -175,18 +175,39 @@ TEST(EmissionPipelineTest, ProducerExceptionReachesTheConsumer) {
         return true;
       });
   pipeline.Start(pool);
+  // The producer's death must surface as an end-of-stream plus error(),
+  // never as an exception rethrown across Front().
   std::size_t drained = 0;
-  EXPECT_THROW(
-      {
-        for (;;) {
-          std::vector<int>* front = pipeline.Front();
-          if (front == nullptr) break;
-          ++drained;
-          pipeline.PopFront();
-        }
-      },
-      std::runtime_error);
+  for (;;) {
+    std::vector<int>* front = pipeline.Front();
+    if (front == nullptr) break;
+    ++drained;
+    pipeline.PopFront();
+  }
   EXPECT_EQ(drained, 2u);
+  const EmissionPipelineError error = pipeline.error();
+  ASSERT_NE(error.exception, nullptr);
+  EXPECT_EQ(error.batch_index, 2u);  // died producing the third batch
+  EXPECT_THROW(std::rethrow_exception(error.exception), std::runtime_error);
+}
+
+TEST(EmissionPipelineTest, CleanExhaustionReportsNoError) {
+  ThreadPool pool(1);
+  int batches = 0;
+  EmissionPipeline<std::vector<int>> pipeline(
+      2, [&batches](std::vector<int>& batch) -> bool {
+        if (batches == 3) return false;
+        batch.assign(1, batches++);
+        return true;
+      });
+  pipeline.Start(pool);
+  std::size_t drained = 0;
+  while (pipeline.Front() != nullptr) {
+    ++drained;
+    pipeline.PopFront();
+  }
+  EXPECT_EQ(drained, 3u);
+  EXPECT_EQ(pipeline.error().exception, nullptr);
 }
 
 // ------------------------------------------- engine streams, bit-identical

@@ -1,0 +1,549 @@
+// Robustness of the serving stack (src/engine/resolver.h,
+// src/parallel/cancel.h, src/obs/fault_injection.h). The contract under
+// test:
+//
+// - CancelToken: null tokens never fire, sources fire every derived
+//   token, deadlines latch on first observation, WithDeadline chains to
+//   the parent (either firing cancels the child);
+// - cancellation and deadlines are *advisory*: a cut request returns its
+//   partial slice with the flag set and nothing torn down — the next
+//   ticket continues the stream bit-identically, at every (method,
+//   shards, lookahead) combination;
+// - Drain() stops admitting, lets in-flight tickets finish, and is safe
+//   to race with concurrent Serve(): every request is either fully
+//   served or cleanly rejected with FailedPrecondition, and the served
+//   slices in ticket order form an exact prefix of the un-batched drain;
+// - ThreadPool surfaces the first task exception from Wait() and counts
+//   the rest in dropped_exceptions() instead of discarding them;
+// - with SPER_FAULT_INJECT compiled in (skipped otherwise): an injected
+//   refill failure poisons the engine with shard and batch context, later
+//   requests get FailedPrecondition; an injected stall plus a deadline
+//   cuts slices short, and disarming then draining the rest still
+//   reassembles the exact reference stream.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "engine/resolver.h"
+#include "obs/fault_injection.h"
+#include "parallel/cancel.h"
+#include "parallel/thread_pool.h"
+
+namespace sper {
+namespace {
+
+ProfileStore DirtyStore() {
+  Result<DatasetBundle> ds = GenerateDataset("restaurant", {});
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds.value().store);
+}
+
+std::vector<Comparison> Drain(ProgressiveEmitter* emitter,
+                              std::size_t limit) {
+  std::vector<Comparison> out;
+  while (out.size() < limit) {
+    std::optional<Comparison> c = emitter->Next();
+    if (!c.has_value()) break;
+    out.push_back(*c);
+  }
+  return out;
+}
+
+void ExpectSameSequence(const std::vector<Comparison>& a,
+                        const std::vector<Comparison>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].i, b[k].i) << "position " << k;
+    EXPECT_EQ(a[k].j, b[k].j) << "position " << k;
+    EXPECT_EQ(a[k].weight, b[k].weight) << "position " << k;
+  }
+}
+
+std::unique_ptr<Resolver> MustCreate(const ProfileStore& store,
+                                     const ResolverOptions& options) {
+  Result<std::unique_ptr<Resolver>> resolver =
+      Resolver::Create(store, options);
+  EXPECT_TRUE(resolver.ok()) << resolver.status().ToString();
+  return std::move(resolver).value();
+}
+
+/// The (method, shards, lookahead) matrix every continuation guarantee is
+/// checked against — the same coverage the determinism suite uses.
+struct ServingConfig {
+  MethodId method;
+  std::size_t num_shards;
+  std::size_t lookahead;
+};
+
+std::vector<ServingConfig> ServingMatrix() {
+  std::vector<ServingConfig> matrix;
+  for (MethodId method : {MethodId::kPps, MethodId::kPbs}) {
+    for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      for (std::size_t lookahead : {std::size_t{0}, std::size_t{4}}) {
+        matrix.push_back({method, shards, lookahead});
+      }
+    }
+  }
+  return matrix;
+}
+
+std::string TraceOf(const ServingConfig& config) {
+  return std::string(ToString(config.method)) +
+         " shards=" + std::to_string(config.num_shards) +
+         " lookahead=" + std::to_string(config.lookahead);
+}
+
+// ---------------------------------------------------------- cancel tokens
+
+TEST(CancelTokenTest, NullTokenNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, SourceFiresEveryToken) {
+  CancelSource source;
+  const CancelToken token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kCancelled);
+  // Idempotent: the first reason sticks.
+  source.Cancel();
+  EXPECT_EQ(token.reason(), CancelReason::kCancelled);
+}
+
+TEST(CancelTokenTest, DeadlineLatchesOnFirstObservation) {
+  const CancelToken expired =
+      CancelToken().WithDeadline(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(expired.valid());
+  EXPECT_TRUE(expired.has_deadline());
+  EXPECT_TRUE(expired.cancelled());
+  EXPECT_EQ(expired.reason(), CancelReason::kDeadline);
+
+  const CancelToken live =
+      CancelToken().WithDeadline(std::chrono::hours(24));
+  EXPECT_FALSE(live.cancelled());
+  EXPECT_EQ(live.reason(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, WithDeadlineChainsToParent) {
+  CancelSource source;
+  const CancelToken child =
+      source.token().WithDeadline(std::chrono::hours(24));
+  EXPECT_FALSE(child.cancelled());
+  // The parent firing cancels the child with the parent's reason.
+  source.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.reason(), CancelReason::kCancelled);
+  // The parent itself has no deadline; only the child does.
+  EXPECT_FALSE(source.token().has_deadline());
+  EXPECT_TRUE(child.has_deadline());
+}
+
+TEST(CancelTokenTest, DeadlineIsTheEarliestAlongTheChain) {
+  const CancelToken outer =
+      CancelToken().WithDeadline(std::chrono::hours(24));
+  const CancelToken inner = outer.WithDeadline(std::chrono::hours(48));
+  // The child's own (later) deadline never extends the parent's.
+  EXPECT_EQ(inner.deadline(), outer.deadline());
+}
+
+// --------------------------------------- lossless continuation after cuts
+
+TEST(ResolverCancelTest, CutRequestsContinueBitIdentically) {
+  const ProfileStore store = DirtyStore();
+  constexpr std::uint64_t kBudget = 1200;
+
+  for (const ServingConfig& config : ServingMatrix()) {
+    SCOPED_TRACE(TraceOf(config));
+    ResolverOptions options;
+    options.method = config.method;
+    options.num_shards = config.num_shards;
+    options.lookahead = config.lookahead;
+    options.budget = kBudget;
+
+    const std::vector<Comparison> reference =
+        Drain(MustCreate(store, options).get(), 1000000);
+    ASSERT_FALSE(reference.empty());
+
+    std::unique_ptr<Resolver> resolver = MustCreate(store, options);
+    ResolverSession session = resolver->OpenSession();
+    std::vector<Comparison> concatenated;
+    const auto append = [&](const ResolveResult& slice) {
+      concatenated.insert(concatenated.end(), slice.comparisons.begin(),
+                          slice.comparisons.end());
+    };
+
+    // A normal slice first, so the cuts land mid-stream.
+    ResolveResult normal = session.Resolve({100, 0});
+    EXPECT_EQ(normal.comparisons.size(), 100u);
+    EXPECT_TRUE(normal.status.ok());
+    append(normal);
+
+    // An explicitly pre-cancelled request: admitted, cut before drawing,
+    // stream untouched.
+    CancelSource source;
+    source.Cancel();
+    ResolveRequest cancelled_request;
+    cancelled_request.budget = 1000;
+    cancelled_request.cancel = source.token();
+    ResolveResult cancelled = session.Resolve(cancelled_request);
+    EXPECT_TRUE(cancelled.cancelled);
+    EXPECT_FALSE(cancelled.deadline_exceeded);
+    EXPECT_TRUE(cancelled.status.ok()) << "a cut is not an error";
+    EXPECT_TRUE(cancelled.comparisons.empty());
+    append(cancelled);
+
+    // A request whose deadline already passed at arrival: same guarantee,
+    // reported as deadline_exceeded.
+    ResolveRequest expired_request;
+    expired_request.budget = 1000;
+    expired_request.cancel =
+        CancelToken().WithDeadline(std::chrono::nanoseconds(0));
+    ResolveResult expired = session.Resolve(expired_request);
+    EXPECT_TRUE(expired.deadline_exceeded);
+    EXPECT_FALSE(expired.cancelled);
+    EXPECT_TRUE(expired.status.ok());
+    EXPECT_TRUE(expired.comparisons.empty());
+    append(expired);
+
+    // A generous deadline does not perturb a normal slice.
+    ResolveRequest generous;
+    generous.budget = 100;
+    generous.deadline_ms = 600000;
+    ResolveResult relaxed = session.Resolve(generous);
+    EXPECT_EQ(relaxed.comparisons.size(), 100u);
+    EXPECT_FALSE(relaxed.deadline_exceeded);
+    append(relaxed);
+
+    // Drain the remainder: the concatenation across normal, cut and
+    // post-cut slices must be the exact reference stream.
+    for (;;) {
+      ResolveResult slice = session.Resolve({500, 0});
+      append(slice);
+      if (slice.comparisons.empty() || slice.budget_exhausted ||
+          slice.stream_exhausted) {
+        break;
+      }
+    }
+    ExpectSameSequence(concatenated, reference);
+  }
+}
+
+// ----------------------------------------------- drain vs in-flight serve
+
+TEST(ResolverDrainTest, DrainRejectsAfterwardsAndIsIdempotent) {
+  const ProfileStore store = DirtyStore();
+  std::unique_ptr<Resolver> resolver = MustCreate(store, {});
+  ResolverSession session = resolver->OpenSession();
+
+  ResolveResult before = session.Resolve({10, 0});
+  EXPECT_EQ(before.comparisons.size(), 10u);
+  EXPECT_FALSE(resolver->draining());
+
+  resolver->Drain();
+  EXPECT_TRUE(resolver->draining());
+
+  ResolveResult after = session.Resolve({10, 0});
+  EXPECT_TRUE(after.comparisons.empty());
+  EXPECT_EQ(after.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(after.status.message().find("draining"), std::string::npos);
+  EXPECT_FALSE(resolver->Next().has_value());
+
+  resolver->Drain();  // second drain: no-op, no deadlock
+  EXPECT_TRUE(resolver->draining());
+}
+
+TEST(ResolverDrainTest, ConcurrentDrainVsServeNeverCorruptsTheStream) {
+  const ProfileStore store = DirtyStore();
+  constexpr std::uint64_t kBudget = 2000;
+  constexpr std::size_t kClients = 4;
+
+  for (const ServingConfig& config : ServingMatrix()) {
+    SCOPED_TRACE(TraceOf(config));
+    ResolverOptions options;
+    options.method = config.method;
+    options.num_shards = config.num_shards;
+    options.lookahead = config.lookahead;
+    options.budget = kBudget;
+
+    const std::vector<Comparison> reference =
+        Drain(MustCreate(store, options).get(), 1000000);
+    ASSERT_FALSE(reference.empty());
+
+    std::unique_ptr<Resolver> resolver = MustCreate(store, options);
+    struct Slice {
+      std::uint64_t ticket;
+      ResolveResult result;
+    };
+    std::vector<std::vector<Slice>> per_client(kClients);
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::size_t> finished{0};
+    {
+      std::vector<std::thread> clients;
+      for (std::size_t t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t] {
+          ResolverSession session = resolver->OpenSession();
+          for (;;) {
+            ResolveResult result = session.Resolve({64, 0});
+            const bool rejected = !result.status.ok();
+            const bool dry = result.status.ok() &&
+                             (result.stream_exhausted ||
+                              result.budget_exhausted);
+            served.fetch_add(result.comparisons.size(),
+                             std::memory_order_relaxed);
+            per_client[t].push_back({result.ticket, std::move(result)});
+            if (rejected || dry) break;
+          }
+          finished.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      // Let the clients make some progress, then drain out from under
+      // them mid-request. (Progress is observed through the test's own
+      // atomics — the resolver's accounting getters are not meant for
+      // concurrent polling.)
+      while (served.load(std::memory_order_relaxed) < kBudget / 4 &&
+             finished.load(std::memory_order_relaxed) < kClients) {
+        std::this_thread::yield();
+      }
+      resolver->Drain();
+      // Drain returned: the stream is down; every straggler request must
+      // come back rejected without blocking.
+      for (std::thread& client : clients) client.join();
+    }
+
+    // Every request either served normally or was rejected cleanly; the
+    // served slices in ticket order are an exact prefix of the reference
+    // stream — drain never tears a slice mid-draw.
+    std::vector<Slice> ok;
+    for (std::vector<Slice>& slices : per_client) {
+      for (Slice& slice : slices) {
+        if (slice.result.status.ok()) {
+          ok.push_back(std::move(slice));
+        } else {
+          EXPECT_EQ(slice.result.status.code(),
+                    StatusCode::kFailedPrecondition);
+          EXPECT_TRUE(slice.result.comparisons.empty());
+        }
+      }
+    }
+    std::sort(ok.begin(), ok.end(), [](const Slice& a, const Slice& b) {
+      return a.ticket < b.ticket;
+    });
+    std::vector<Comparison> concatenated;
+    for (const Slice& slice : ok) {
+      concatenated.insert(concatenated.end(),
+                          slice.result.comparisons.begin(),
+                          slice.result.comparisons.end());
+    }
+    ASSERT_LE(concatenated.size(), reference.size());
+    ExpectSameSequence(
+        concatenated,
+        std::vector<Comparison>(reference.begin(),
+                                reference.begin() + concatenated.size()));
+
+    // And the resolver stays well-defined after the racy drain.
+    EXPECT_TRUE(resolver->draining());
+    EXPECT_FALSE(resolver->Next().has_value());
+  }
+}
+
+TEST(ResolverDrainTest, ConcurrentDoubleDrainBothReturn) {
+  const ProfileStore store = DirtyStore();
+  std::unique_ptr<Resolver> resolver = MustCreate(store, {});
+  std::thread first([&] { resolver->Drain(); });
+  std::thread second([&] { resolver->Drain(); });
+  first.join();
+  second.join();
+  EXPECT_TRUE(resolver->draining());
+}
+
+// ------------------------------------------- thread-pool exception health
+
+TEST(ThreadPoolTest, DroppedTaskExceptionsAreCountedNotSwallowed) {
+  ThreadPool pool(1);
+  for (int k = 0; k < 3; ++k) {
+    pool.Submit([] { throw std::runtime_error("task failure"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // One exception rode the rethrow slot; the other two are accounted for
+  // instead of vanishing.
+  EXPECT_EQ(pool.dropped_exceptions(), 2u);
+}
+
+// ------------------------------------------------- fault-injected seams
+//
+// These run only in SPER_FAULT_INJECT builds (ctest in build-fault, the
+// CI fault job); in normal builds the seams compile out and the tests
+// skip themselves.
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::kFaultInjectionEnabled) {
+      GTEST_SKIP() << "built without SPER_FAULT_INJECT";
+    }
+    obs::FaultRegistry::Global().Reset();
+  }
+  void TearDown() override { obs::FaultRegistry::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, RefillThrowPoisonsTheEngineWithContext) {
+  const ProfileStore store = DirtyStore();
+  for (std::size_t lookahead : {std::size_t{0}, std::size_t{4}}) {
+    SCOPED_TRACE("lookahead=" + std::to_string(lookahead));
+    obs::FaultRegistry::Global().Reset();
+
+    // Shard 0's second refill throws; the other shards stay healthy.
+    obs::FaultPlan plan;
+    plan.action = obs::FaultPlan::Action::kThrow;
+    plan.message = "injected refill failure";
+    plan.start_after = 1;
+    obs::FaultRegistry::Global().Arm("refill.shard0", plan);
+
+    ResolverOptions options;
+    options.num_shards = 4;
+    options.lookahead = lookahead;
+    std::unique_ptr<Resolver> resolver = MustCreate(store, options);
+    ResolverSession session = resolver->OpenSession();
+
+    // The failure is contained: some requests may still serve from
+    // batches produced before the throw, then exactly one request
+    // reports the Internal status with shard and batch context.
+    ResolveResult failed;
+    for (int k = 0; k < 64; ++k) {
+      failed = session.Resolve({256, 0});
+      if (!failed.status.ok() || failed.stream_exhausted) break;
+    }
+    ASSERT_FALSE(failed.status.ok()) << "fault never surfaced";
+    EXPECT_EQ(failed.status.code(), StatusCode::kInternal);
+    EXPECT_NE(failed.status.message().find("shard0"), std::string::npos)
+        << failed.status.ToString();
+    EXPECT_NE(failed.status.message().find("batch"), std::string::npos)
+        << failed.status.ToString();
+    EXPECT_NE(failed.status.message().find("injected refill failure"),
+              std::string::npos)
+        << failed.status.ToString();
+
+    // Poisoning is sticky: later requests get the stable
+    // FailedPrecondition answer, not UB and not a re-report.
+    ResolveResult after = session.Resolve({256, 0});
+    EXPECT_EQ(after.status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(after.status.message().find("poisoned"), std::string::npos);
+    EXPECT_TRUE(after.comparisons.empty());
+    EXPECT_FALSE(resolver->Next().has_value());
+
+    // A poisoned resolver still drains cleanly (producers join).
+    resolver->Drain();
+  }
+}
+
+TEST_F(FaultInjectionTest, StalledRefillsPlusDeadlinesStillReassemble) {
+  const ProfileStore store = DirtyStore();
+  constexpr std::uint64_t kBudget = 400;
+  for (std::size_t lookahead : {std::size_t{0}, std::size_t{4}}) {
+    SCOPED_TRACE("lookahead=" + std::to_string(lookahead));
+    obs::FaultRegistry::Global().Reset();
+
+    ResolverOptions options;
+    options.budget = kBudget;
+    options.lookahead = lookahead;
+    const std::vector<Comparison> reference =
+        Drain(MustCreate(store, options).get(), 1000000);
+    ASSERT_FALSE(reference.empty());
+
+    // Every refill stalls well past the request deadline: requests keep
+    // being cut short, each continuing losslessly.
+    obs::FaultPlan stall;
+    stall.action = obs::FaultPlan::Action::kStall;
+    stall.stall_ms = 25;
+    obs::FaultRegistry::Global().Arm("refill", stall);
+
+    std::unique_ptr<Resolver> resolver = MustCreate(store, options);
+    ResolverSession session = resolver->OpenSession();
+    std::vector<Comparison> concatenated;
+    std::uint64_t cuts = 0;
+    bool done = false;
+    for (int k = 0; k < 256 && !done; ++k) {
+      ResolveRequest request;
+      request.budget = kBudget;
+      request.deadline_ms = 8;
+      ResolveResult slice = session.Resolve(request);
+      ASSERT_TRUE(slice.status.ok()) << slice.status.ToString();
+      concatenated.insert(concatenated.end(), slice.comparisons.begin(),
+                          slice.comparisons.end());
+      cuts += slice.deadline_exceeded ? 1 : 0;
+      done = slice.stream_exhausted || slice.budget_exhausted;
+      if (cuts >= 3 && !done) break;  // enough deadline pressure observed
+    }
+    EXPECT_GE(cuts, 1u) << "the stall never pushed a request past its "
+                           "deadline";
+    EXPECT_GT(obs::FaultRegistry::Global().fires("refill"), 0u);
+
+    // Disarm and drain the rest without deadlines: the full
+    // concatenation must be bit-identical to the fault-free reference.
+    obs::FaultRegistry::Global().Disarm("refill");
+    while (!done) {
+      ResolveResult slice = session.Resolve({kBudget, 0});
+      ASSERT_TRUE(slice.status.ok()) << slice.status.ToString();
+      concatenated.insert(concatenated.end(), slice.comparisons.begin(),
+                          slice.comparisons.end());
+      done = slice.stream_exhausted || slice.budget_exhausted ||
+             slice.comparisons.empty();
+    }
+    ExpectSameSequence(concatenated, reference);
+  }
+}
+
+TEST_F(FaultInjectionTest, AllInstrumentedSeamsAreReachable) {
+  const ProfileStore store = DirtyStore();
+  // Zero-ms stalls: fire the seams without slowing the test down.
+  obs::FaultPlan probe;
+  probe.action = obs::FaultPlan::Action::kStall;
+  probe.stall_ms = 0;
+  for (const char* site :
+       {"ring.acquire_slot", "refill.shard0", "merge.draw",
+        "session.admit"}) {
+    obs::FaultRegistry::Global().Arm(site, probe);
+  }
+
+  ResolverOptions options;
+  options.num_shards = 2;
+  options.lookahead = 2;
+  options.budget = 600;
+  std::unique_ptr<Resolver> resolver = MustCreate(store, options);
+  ResolverSession session = resolver->OpenSession();
+  for (;;) {
+    ResolveResult slice = session.Resolve({128, 0});
+    if (slice.comparisons.empty() || slice.stream_exhausted ||
+        slice.budget_exhausted) {
+      break;
+    }
+  }
+  resolver->Drain();
+
+  obs::FaultRegistry& registry = obs::FaultRegistry::Global();
+  EXPECT_GT(registry.hits("ring.acquire_slot"), 0u);
+  EXPECT_GT(registry.hits("refill.shard0"), 0u);
+  EXPECT_GT(registry.hits("merge.draw"), 0u);
+  EXPECT_GT(registry.hits("session.admit"), 0u);
+}
+
+}  // namespace
+}  // namespace sper

@@ -9,8 +9,8 @@
 //
 //   sper_cli run <dataset> --method=NAME [--seed=N] [--scale=S]
 //                [--ecmax=E] [--threads=N] [--shards=N] [--lookahead=N]
-//                [--budget=N] [--curve=FILE.csv] [--metrics-json=FILE]
-//                [--trace=FILE]
+//                [--budget=N] [--deadline-ms=N] [--curve=FILE.csv]
+//                [--metrics-json=FILE] [--trace=FILE]
 //       Run one progressive method under the paper's evaluation protocol;
 //       print the recall curve and AUC*, optionally dump the curve as CSV.
 //       --threads parallelizes the initialization phase (same output at
@@ -22,7 +22,11 @@
 //       stream; 0 keeps the serial reference path. Defaults to 0 for
 //       --threads=1 and 4 otherwise. --budget=N caps the run at N
 //       emitted comparisons (the pay-as-you-go budget,
-//       ResolverOptions::budget; 0 = unlimited).
+//       ResolverOptions::budget; 0 = unlimited). --deadline-ms=N serves
+//       the drain through the session layer with an N-millisecond
+//       deadline per resolve request (ResolveRequest::deadline_ms);
+//       slices cut at the deadline are retried, the stream stays
+//       bit-identical, and a summary counts the cut slices.
 //       Method names are case-insensitive ("pps" == "PPS").
 //       --metrics-json=FILE and --trace=FILE turn on telemetry for the
 //       run: the drain is served through the session layer (in slices
@@ -54,6 +58,7 @@
 #include <initializer_list>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/store_partition.h"
@@ -270,20 +275,46 @@ MethodId ParseMethod(const std::string& name) {
 class SessionEmitter : public ProgressiveEmitter {
  public:
   static constexpr std::uint64_t kSliceBudget = 4096;
+  /// Consecutive comparison-less deadline-cut slices tolerated before the
+  /// drain gives up — a deadline too tight to ever draw one comparison
+  /// must not loop forever.
+  static constexpr int kMaxEmptySlices = 64;
 
-  explicit SessionEmitter(std::unique_ptr<Resolver> resolver)
+  /// `deadline_ms` (0 = none) is applied to every resolve request;
+  /// `deadline_hits`, when given, counts slices cut by it (shared so the
+  /// caller can read the count after the evaluator destroyed the
+  /// emitter).
+  explicit SessionEmitter(
+      std::unique_ptr<Resolver> resolver, std::uint64_t deadline_ms = 0,
+      std::shared_ptr<std::uint64_t> deadline_hits = nullptr)
       : resolver_(std::move(resolver)),
-        session_(resolver_->OpenSession()) {}
+        session_(resolver_->OpenSession()),
+        deadline_ms_(deadline_ms),
+        deadline_hits_(std::move(deadline_hits)) {}
 
   std::optional<Comparison> Next() override {
-    if (cursor_ >= slice_.comparisons.size()) {
+    while (cursor_ >= slice_.comparisons.size()) {
       if (done_) return std::nullopt;
-      slice_ = session_.Resolve({kSliceBudget, kSliceBudget});
+      ResolveRequest request;
+      request.budget = kSliceBudget;
+      request.max_batch = kSliceBudget;
+      request.deadline_ms = deadline_ms_;
+      slice_ = session_.Resolve(request);
       cursor_ = 0;
-      // A short slice means the stream or the global budget ran out; do
-      // not come back for an extra empty request.
-      if (slice_.comparisons.size() < kSliceBudget) done_ = true;
-      if (slice_.comparisons.empty()) return std::nullopt;
+      if (slice_.deadline_exceeded || slice_.cancelled) {
+        // A cut slice is partial, not the end: take what it holds and
+        // ask again — the next ticket continues bit-identically.
+        if (deadline_hits_ != nullptr) ++*deadline_hits_;
+        empty_streak_ =
+            slice_.comparisons.empty() ? empty_streak_ + 1 : 0;
+        if (empty_streak_ >= kMaxEmptySlices) done_ = true;
+      } else if (slice_.stream_exhausted || slice_.budget_exhausted ||
+                 !slice_.status.ok() ||
+                 slice_.comparisons.size() < kSliceBudget) {
+        // The stream or the global budget ran out (a short un-cut slice
+        // means the same); do not come back for an extra empty request.
+        done_ = true;
+      }
     }
     return slice_.comparisons[cursor_++];
   }
@@ -293,21 +324,24 @@ class SessionEmitter : public ProgressiveEmitter {
  private:
   std::unique_ptr<Resolver> resolver_;
   ResolverSession session_;
+  std::uint64_t deadline_ms_ = 0;
+  std::shared_ptr<std::uint64_t> deadline_hits_;
   ResolveResult slice_;
   std::size_t cursor_ = 0;
+  int empty_streak_ = 0;
   bool done_ = false;
 };
 
 int CmdRun(const CliArgs& args) {
   RequireKnownOptions(args, {"seed", "scale", "method", "ecmax", "threads",
-                             "shards", "lookahead", "budget", "curve",
-                             "metrics-json", "trace"});
+                             "shards", "lookahead", "budget", "deadline-ms",
+                             "curve", "metrics-json", "trace"});
   if (args.positional.size() < 2 || !args.options.count("method")) {
     std::fprintf(stderr, "usage: sper_cli run <dataset> --method=NAME "
                          "[--seed=N] [--scale=S] [--ecmax=E] [--threads=N] "
                          "[--shards=N] [--lookahead=N] [--budget=N] "
-                         "[--curve=FILE.csv] [--metrics-json=FILE] "
-                         "[--trace=FILE]\n");
+                         "[--deadline-ms=N] [--curve=FILE.csv] "
+                         "[--metrics-json=FILE] [--trace=FILE]\n");
     return 2;
   }
   Result<DatasetBundle> dataset =
@@ -346,14 +380,22 @@ int CmdRun(const CliArgs& args) {
   obs::Registry registry;
   if (telemetry_on) config.telemetry = obs::TelemetryScope(&registry);
 
+  const std::uint64_t deadline_ms =
+      OptUint(args, "deadline-ms", 0, 0,
+              std::numeric_limits<std::uint64_t>::max());
+  const bool use_sessions = telemetry_on || deadline_ms > 0;
+  auto deadline_hits = std::make_shared<std::uint64_t>(0);
+
   RunResult run = evaluator.Run(
       [&]() -> std::unique_ptr<ProgressiveEmitter> {
         std::unique_ptr<Resolver> resolver =
             MakeResolver(method, dataset.value(), config);
-        if (!telemetry_on) return resolver;
+        if (!use_sessions) return resolver;
         // Route the drain through the session layer so the trace shows
-        // one span per resolve request (same emitted stream).
-        return std::make_unique<SessionEmitter>(std::move(resolver));
+        // one span per resolve request — and so a --deadline-ms applies
+        // per request (same emitted stream either way).
+        return std::make_unique<SessionEmitter>(std::move(resolver),
+                                                deadline_ms, deadline_hits);
       });
 
   if (config.num_shards > 1) {
@@ -370,6 +412,14 @@ int CmdRun(const CliArgs& args) {
                 "of consumption%s)\n",
                 config.lookahead,
                 config.num_shards > 1 ? ", one producer per shard" : "");
+  }
+  if (deadline_ms > 0) {
+    std::printf("deadline: %llu ms per %llu-comparison request; %llu "
+                "slice(s) cut short (each continued losslessly)\n",
+                static_cast<unsigned long long>(deadline_ms),
+                static_cast<unsigned long long>(
+                    SessionEmitter::kSliceBudget),
+                static_cast<unsigned long long>(*deadline_hits));
   }
   std::printf("%s on %s: %zu/%zu matches after %llu comparisons "
               "(recall %.3f)\n",
