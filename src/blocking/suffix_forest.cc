@@ -34,6 +34,11 @@ SuffixForest SuffixForest::Build(const ProfileStore& store,
 
   SuffixForest forest;
   forest.nodes_.reserve(postings.size());
+  // Hash-order iteration (extract avoids copying the suffix strings) is
+  // safe here: the node sort below re-establishes a total order — suffix
+  // length, cardinality, suffix text — with no ties, so the emitted
+  // forest is independent of hash order (allowlisted in
+  // tools/determinism_allowlist.txt).
   for (auto it = postings.begin(); it != postings.end();) {
     auto node_handle = postings.extract(it++);
     SuffixNode node;

@@ -97,6 +97,9 @@ BlockCollection TokenBlocking(const ProfileStore& store,
 
   // Deterministic block order: sort all keys lexicographically across
   // shards. Every token lives in exactly one shard, so keys are unique.
+  // The hash-order iteration below never reaches the output — the global
+  // key sort re-establishes a total order (allowlisted in
+  // tools/determinism_allowlist.txt).
   struct KeyRef {
     const std::string* key;
     const std::vector<ProfileId>* ids;

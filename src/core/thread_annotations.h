@@ -1,0 +1,78 @@
+#ifndef SPER_CORE_THREAD_ANNOTATIONS_H_
+#define SPER_CORE_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// Clang Thread Safety Analysis attributes behind SPER_-prefixed macros.
+/// Under Clang with -Wthread-safety (CMake option SPER_THREAD_SAFETY,
+/// default ON there) the analysis proves lock discipline at compile time:
+/// every read/write of a SPER_GUARDED_BY member must hold the named
+/// capability, and every SPER_REQUIRES function must be called with it
+/// held. On other compilers the macros expand to nothing, so annotated
+/// code stays portable.
+///
+/// The annotated primitives live in core/mutex.h (sper::Mutex /
+/// MutexLock / CondVar). Conventions used across the codebase:
+///
+///   - every mutex-guarded field carries SPER_GUARDED_BY(mutex_);
+///   - condition-variable waits are explicit `while (!PredLocked())`
+///     loops (never predicate lambdas, which the analysis treats as
+///     lock-free functions), with guarded predicates factored into
+///     private `...Locked()` members annotated SPER_REQUIRES(mutex_);
+///   - the rare spot the analysis cannot follow (e.g. a scope-exit
+///     helper mutating guarded state while its enclosing function holds
+///     the lock) is annotated SPER_NO_THREAD_SAFETY_ANALYSIS with a
+///     comment saying why it is safe.
+///
+/// tests/thread_safety_compile_test proves the enforcement end: a
+/// GUARDED_BY access without the lock must fail the build under Clang.
+
+#if defined(__clang__)
+#define SPER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SPER_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability (a lock). The string names it in
+/// diagnostics ("mutex 'mu_' not held...").
+#define SPER_CAPABILITY(x) SPER_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (sper::MutexLock).
+#define SPER_SCOPED_CAPABILITY SPER_THREAD_ANNOTATION(scoped_lockable)
+
+/// The field may only be accessed while holding capability `x`.
+#define SPER_GUARDED_BY(x) SPER_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointee (not the pointer) is guarded by capability `x`.
+#define SPER_PT_GUARDED_BY(x) SPER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities.
+#define SPER_REQUIRES(...) \
+  SPER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (held on return).
+#define SPER_ACQUIRE(...) \
+  SPER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define SPER_RELEASE(...) \
+  SPER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability; the first argument is
+/// the return value meaning success.
+#define SPER_TRY_ACQUIRE(...) \
+  SPER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called WITHOUT the listed capabilities held
+/// (deadlock prevention for self-locking functions).
+#define SPER_EXCLUDES(...) SPER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the capability `x`.
+#define SPER_RETURN_CAPABILITY(x) SPER_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function. Use only where the analysis
+/// cannot follow a correct pattern, and say why in a comment.
+#define SPER_NO_THREAD_SAFETY_ANALYSIS \
+  SPER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SPER_CORE_THREAD_ANNOTATIONS_H_

@@ -60,7 +60,7 @@ std::optional<MethodId> ParseMethodId(std::string_view name) {
 }
 
 ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
-                                     EngineOptions options,
+                                     EngineConfig options,
                                      ThreadPool* emission_pool)
     : options_(std::move(options)) {
   const obs::Stopwatch init_watch;
@@ -104,7 +104,7 @@ ProgressiveEngine::ProgressiveEngine(const ProfileStore& store,
     switch (options_.method) {
     case MethodId::kPsn:
       SPER_CHECK(options_.schema_key != nullptr &&
-                 "kPsn requires EngineOptions::schema_key");
+                 "kPsn requires EngineConfig::schema_key");
       inner_ = std::make_unique<PsnEmitter>(store, options_.schema_key,
                                             options_.list);
       break;

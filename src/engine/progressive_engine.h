@@ -39,13 +39,14 @@
 
 namespace sper {
 
-/// Everything the engine needs to run one progressive ER task.
+/// Everything one engine instance needs to run one progressive ER task.
 ///
-/// DEPRECATED as a public surface: prefer `ResolverOptions` +
-/// `Resolver::Create` (engine/resolver.h), which validates the
-/// configuration and picks the engine implementation. EngineOptions
-/// remains as the internal per-engine configuration for one release.
-struct EngineOptions {
+/// This is the *internal* per-engine configuration: public callers go
+/// through `ResolverOptions` + `Resolver::Create` (engine/resolver.h),
+/// which validates the configuration and picks the engine
+/// implementation. (The old deprecated `EngineOptions` /
+/// `ShardedEngineOptions` public shims were removed in PR 8.)
+struct EngineConfig {
   /// Progressive method to run.
   MethodId method = MethodId::kPps;
 
@@ -97,15 +98,11 @@ struct EngineOptions {
   std::string instance_label;
 };
 
-/// DEPRECATED alias for the unified InitStats (engine/engine.h); kept for
-/// one release so existing callers keep compiling.
-using EngineInitStats = InitStats;
-
 /// Facade emitter: owns the inner method emitter and its inputs. Being a
 /// ProgressiveEmitter itself, it composes with every existing consumer
 /// (evaluator, benches, dedup loops).
 ///
-/// Direct construction is DEPRECATED as a public surface: prefer
+/// Direct construction is internal: public callers use
 /// `Resolver::Create` (engine/resolver.h), which validates options and
 /// picks plain vs sharded serving; ProgressiveEngine remains the plain
 /// implementation behind that factory.
@@ -122,7 +119,7 @@ class ProgressiveEngine : public BudgetedEngine {
   /// outlive the engine — ShardedEngine shares one pool across shards);
   /// nullptr makes the engine own a single-worker pool. Unused when
   /// lookahead == 0.
-  ProgressiveEngine(const ProfileStore& store, EngineOptions options,
+  ProgressiveEngine(const ProfileStore& store, EngineConfig options,
                     ThreadPool* emission_pool = nullptr);
 
   /// The inner method's acronym, e.g. "PPS".
@@ -155,7 +152,7 @@ class ProgressiveEngine : public BudgetedEngine {
   /// origin").
   PullStatus Poison(std::size_t batch_index, std::exception_ptr error);
 
-  EngineOptions options_;
+  EngineConfig options_;
   std::unique_ptr<ProgressiveEmitter> inner_;
   /// inner_ viewed through its refill-batch capability; nullptr for the
   /// sort-based methods.

@@ -15,8 +15,8 @@ namespace {
 
 /// ResolverOptions -> the per-engine configuration the implementations
 /// take. Stays in one place so plain and sharded creation cannot drift.
-EngineOptions ToEngineOptions(const ResolverOptions& options) {
-  EngineOptions engine;
+EngineConfig ToEngineConfig(const ResolverOptions& options) {
+  EngineConfig engine;
   engine.method = options.method;
   engine.num_threads = options.num_threads;
   engine.budget = options.budget;
@@ -81,13 +81,11 @@ Result<std::unique_ptr<Resolver>> Resolver::Create(const ProfileStore& store,
   SPER_RETURN_IF_ERROR(options.Validate());
   std::unique_ptr<Engine> engine;
   if (options.num_shards > 1) {
-    ShardedEngineOptions sharded;
-    sharded.num_shards = options.num_shards;
-    sharded.engine = ToEngineOptions(options);
-    engine = std::make_unique<ShardedEngine>(store, std::move(sharded));
+    engine = std::make_unique<ShardedEngine>(store, ToEngineConfig(options),
+                                             options.num_shards);
   } else {
     engine =
-        std::make_unique<ProgressiveEngine>(store, ToEngineOptions(options));
+        std::make_unique<ProgressiveEngine>(store, ToEngineConfig(options));
   }
   return std::unique_ptr<Resolver>(
       new Resolver(std::move(options), std::move(engine)));
@@ -121,8 +119,8 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
   // hands it the mutex first. seq_cst pairs with Drain(): see the header.
   result.ticket = next_ticket_.fetch_add(1, std::memory_order_seq_cst);
   const bool rejected = draining_.load(std::memory_order_seq_cst);
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return now_serving_ == result.ticket; });
+  MutexLock lock(mutex_);
+  while (now_serving_ != result.ticket) cv_.Wait(lock);
   const obs::Stopwatch::TimePoint admitted = obs::Stopwatch::Now();
   if (queue_wait_ns_ != nullptr) {
     queue_wait_ns_->Record(obs::Stopwatch::Nanos(arrival.start(), admitted));
@@ -134,9 +132,12 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
   // wakes the next ticket instead of deadlocking every later request.
   struct AdmissionGuard {
     Resolver* resolver;
-    ~AdmissionGuard() {
+    // The destructor runs while `lock` is still held (declared after it),
+    // but the analysis cannot see a caller's lock from a local struct's
+    // destructor — hence the opt-out. now_serving_ stays mutex_-guarded.
+    ~AdmissionGuard() SPER_NO_THREAD_SAFETY_ANALYSIS {
       ++resolver->now_serving_;
-      resolver->cv_.notify_all();
+      resolver->cv_.NotifyAll();
     }
   } guard{this};
 
@@ -230,7 +231,7 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
 void Resolver::Drain() {
   // One drainer at a time; a second concurrent Drain() blocks here and
   // returns only after the stream is actually down.
-  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  MutexLock drain_lock(drain_mutex_);
   const obs::Stopwatch watch;
   draining_.store(true, std::memory_order_seq_cst);
   // Every ticket at or past this horizon observes draining_ == true and
@@ -238,8 +239,8 @@ void Resolver::Drain() {
   // before it is let finish — or cut itself at its own deadline.
   const std::uint64_t horizon = next_ticket_.load(std::memory_order_seq_cst);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return now_serving_ >= horizon; });
+    MutexLock lock(mutex_);
+    while (now_serving_ < horizon) cv_.Wait(lock);
   }
   if (!engine_drained_) {
     engine_->Drain();  // shuts down + joins shard producers

@@ -2,14 +2,14 @@
 #define SPER_ENGINE_RESOLVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "blocking/suffix_forest.h"
 #include "core/profile_store.h"
 #include "core/status.h"
@@ -52,9 +52,9 @@
 
 namespace sper {
 
-/// Everything a Resolver needs to serve one progressive ER task. This is
-/// the collapsed, validated successor of `EngineOptions` (plain) +
-/// `ShardedEngineOptions` (sharded).
+/// Everything a Resolver needs to serve one progressive ER task: the one
+/// public configuration struct, validated by Validate() and lowered to
+/// the internal per-engine `EngineConfig` by Resolver::Create.
 struct ResolverOptions {
   /// Progressive method to run.
   MethodId method = MethodId::kPps;
@@ -298,19 +298,19 @@ class Resolver : public ProgressiveEmitter {
   /// still advancing now_serving_) — so no admitted request can slip past
   /// a drain, and no drain can strand a ticketed waiter.
   std::atomic<std::uint64_t> next_ticket_{0};
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::uint64_t now_serving_ = 0;
+  Mutex mutex_;
+  CondVar cv_;
+  std::uint64_t now_serving_ SPER_GUARDED_BY(mutex_) = 0;
 
   std::atomic<bool> draining_{false};
   /// Serializes concurrent Drain() calls; the engine is drained exactly
   /// once, and a second Drain() returns only after the first finished.
-  std::mutex drain_mutex_;
-  bool engine_drained_ = false;  // guarded by drain_mutex_
-  /// Set (under mutex_) once a request observed the engine's sticky
-  /// error; later requests are rejected with FailedPrecondition instead
-  /// of re-reporting the Internal status.
-  bool poison_reported_ = false;
+  Mutex drain_mutex_;
+  bool engine_drained_ SPER_GUARDED_BY(drain_mutex_) = false;
+  /// Set once a request observed the engine's sticky error; later
+  /// requests are rejected with FailedPrecondition instead of
+  /// re-reporting the Internal status.
+  bool poison_reported_ SPER_GUARDED_BY(mutex_) = false;
 };
 
 /// A client's handle on a Resolver's stream: per-session accounting over

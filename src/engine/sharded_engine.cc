@@ -25,19 +25,19 @@ bool ShardHasCandidates(const ProfileStore& store) {
 
 }  // namespace
 
-ShardedEngine::ShardedEngine(const ProfileStore& store,
-                             ShardedEngineOptions options)
-    : options_(std::move(options)) {
+ShardedEngine::ShardedEngine(const ProfileStore& store, EngineConfig config,
+                             std::size_t num_shards)
+    : config_(std::move(config)) {
   const obs::Stopwatch init_watch;
-  if (options_.num_shards == 0) options_.num_shards = 1;
-  if (options_.engine.num_threads == 0) options_.engine.num_threads = 1;
-  budget_ = options_.engine.budget;
-  const obs::TelemetryScope& scope = options_.engine.telemetry;
+  if (num_shards == 0) num_shards = 1;
+  if (config_.num_threads == 0) config_.num_threads = 1;
+  budget_ = config_.budget;
+  const obs::TelemetryScope& scope = config_.telemetry;
 
   {
     double partition_seconds = 0.0;
     obs::ScopedPhase phase(scope, "partition", &partition_seconds);
-    shards_ = PartitionStore(store, options_.num_shards);
+    shards_ = PartitionStore(store, num_shards);
     phase.Stop();
     stats_.phases.push_back({"partition", 0, partition_seconds});
   }
@@ -52,11 +52,11 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
   // across the shard constructions running concurrently.
   const std::size_t concurrency =
       std::max<std::size_t>(
-          1, std::min(shards_.size(), options_.engine.num_threads));
-  EngineOptions inner = options_.engine;
+          1, std::min(shards_.size(), config_.num_threads));
+  EngineConfig inner = config_;
   inner.budget = 0;
   inner.num_threads =
-      std::max<std::size_t>(1, options_.engine.num_threads / concurrency);
+      std::max<std::size_t>(1, config_.num_threads / concurrency);
 
   // Parallel shard refills (lookahead > 0, batch-refilling method): a
   // shared pool hosts every shard's emission-pipeline producer. It needs
@@ -92,7 +92,7 @@ ShardedEngine::ShardedEngine(const ProfileStore& store,
   // shard's contained failures and fault seams attributable
   // ("refill.shard<S>").
   const auto shard_options = [&](std::size_t s) {
-    EngineOptions shard_inner = inner;
+    EngineConfig shard_inner = inner;
     shard_inner.telemetry = scope.Sub("shard" + std::to_string(s));
     shard_inner.instance_label = "shard" + std::to_string(s);
     return shard_inner;
@@ -211,7 +211,7 @@ void ShardedEngine::Drain() {
 }
 
 std::string_view ShardedEngine::name() const {
-  return ToString(options_.engine.method);
+  return ToString(config_.method);
 }
 
 }  // namespace sper

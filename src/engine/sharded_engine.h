@@ -43,45 +43,33 @@
 
 namespace sper {
 
-/// Configuration of a sharded run.
-///
-/// DEPRECATED as a public surface: prefer `ResolverOptions` +
-/// `Resolver::Create` (engine/resolver.h), whose single options struct
-/// covers plain and sharded serving with validation. Kept for one release.
-struct ShardedEngineOptions {
-  /// Number of hash shards; 0 and 1 both mean "one shard".
-  std::size_t num_shards = 1;
-  /// Per-shard engine configuration. `engine.budget` is interpreted as
-  /// the *global* pay-as-you-go budget across all shards (inner engines
-  /// run unbudgeted; the merged stream is capped). `engine.num_threads`
-  /// is the total thread budget for *initialization*: shard
-  /// initializations run concurrently and split it evenly.
-  /// `engine.lookahead` applies per shard and turns on the parallel
-  /// refills described above; emission then uses one additional producer
-  /// thread per non-barren shard (not counted against num_threads, and
-  /// capped: past 64 non-barren shards the engine silently falls back to
-  /// serial refills rather than spawn an OS thread per shard — the
-  /// emitted stream is identical either way).
-  EngineOptions engine;
-};
-
-/// DEPRECATED alias for the unified InitStats (engine/engine.h); kept for
-/// one release so existing callers keep compiling.
-using ShardedInitStats = InitStats;
-
 /// One ProgressiveEngine per hash shard behind a deterministic k-way
 /// merged stream, expressed in the original store's profile ids.
 ///
-/// Direct construction is DEPRECATED as a public surface: prefer
+/// Direct construction is internal: public callers use
 /// `Resolver::Create` with `ResolverOptions::num_shards > 1`
 /// (engine/resolver.h); ShardedEngine remains the sharded implementation
 /// behind that factory.
 class ShardedEngine : public BudgetedEngine {
  public:
-  /// Partitions the store, then constructs the per-shard engines
+  /// Partitions the store into `num_shards` hash shards (0 and 1 both
+  /// mean "one shard"), then constructs the per-shard engines
   /// concurrently on a ThreadPool. The store must outlive the engine
   /// only for construction; shards own copies of their profiles.
-  ShardedEngine(const ProfileStore& store, ShardedEngineOptions options);
+  ///
+  /// `config` is the per-shard engine configuration, reinterpreted at
+  /// the sharded level: `config.budget` is the *global* pay-as-you-go
+  /// budget across all shards (inner engines run unbudgeted; the merged
+  /// stream is capped); `config.num_threads` is the total thread budget
+  /// for *initialization* — shard initializations run concurrently and
+  /// split it evenly; `config.lookahead` applies per shard and turns on
+  /// the parallel refills described above, using one additional producer
+  /// thread per non-barren shard (not counted against num_threads, and
+  /// capped: past 64 non-barren shards the engine silently falls back to
+  /// serial refills rather than spawn an OS thread per shard — the
+  /// emitted stream is identical either way).
+  ShardedEngine(const ProfileStore& store, EngineConfig config,
+                std::size_t num_shards);
 
   /// The underlying method's acronym, e.g. "PPS".
   std::string_view name() const override;
@@ -102,7 +90,7 @@ class ShardedEngine : public BudgetedEngine {
   PullStatus PullUnbudgeted(Comparison& out,
                             const CancelToken& token) override;
 
-  ShardedEngineOptions options_;
+  EngineConfig config_;
   std::vector<StoreShard> shards_;
   // Hosts the per-shard emission-pipeline producers (lookahead > 0): one
   // worker per non-barren shard, so no producer ever waits for a worker —

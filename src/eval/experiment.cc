@@ -25,7 +25,7 @@ ResolverOptions ToResolverOptions(MethodId id, const DatasetBundle& dataset,
   // MethodConfig is the old lenient surface (the engines historically
   // accepted any thread/shard count, with 0 meaning one); ResolverOptions
   // validates instead, so normalize into range here at the boundary —
-  // MakeResolver must not start rejecting configs MakeEmitter ran.
+  // MakeResolver must not start rejecting configs that used to run.
   if (options.num_threads == 0) options.num_threads = 1;
   if (options.num_shards == 0) options.num_shards = 1;
   options.num_threads =
@@ -50,12 +50,6 @@ std::unique_ptr<Resolver> MakeResolver(MethodId id,
     SPER_CHECK(false && "MethodConfig produced an invalid resolver");
   }
   return std::move(resolver).value();
-}
-
-std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
-                                                const DatasetBundle& dataset,
-                                                const MethodConfig& config) {
-  return MakeResolver(id, dataset, config);
 }
 
 const std::vector<MethodId>& StructuredMethodSet() {

@@ -58,7 +58,7 @@ struct MethodConfig {
 /// dataset (the dataset supplies the PSN schema key). MethodConfig is the
 /// old lenient surface: out-of-range thread/shard/lookahead values are
 /// normalized into ResolverOptions' validated ranges rather than
-/// rejected, so every config MakeEmitter used to run keeps running.
+/// rejected, so every config the harness ever ran keeps running.
 ResolverOptions ToResolverOptions(MethodId id, const DatasetBundle& dataset,
                                   const MethodConfig& config);
 
@@ -71,11 +71,6 @@ ResolverOptions ToResolverOptions(MethodId id, const DatasetBundle& dataset,
 std::unique_ptr<Resolver> MakeResolver(MethodId id,
                                        const DatasetBundle& dataset,
                                        const MethodConfig& config);
-
-/// DEPRECATED: thin shim over MakeResolver, kept for one release.
-std::unique_ptr<ProgressiveEmitter> MakeEmitter(MethodId id,
-                                                const DatasetBundle& dataset,
-                                                const MethodConfig& config);
 
 /// The methods compared on structured datasets (Figs. 9-10), paper order.
 const std::vector<MethodId>& StructuredMethodSet();

@@ -1,5 +1,6 @@
 #include "io/dataset_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <vector>
@@ -69,7 +70,14 @@ Status WriteGroundTruthCsv(const GroundTruth& truth,
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out << "profile1,profile2\n";
-  for (std::uint64_t key : truth.pairs()) {
+  // truth.pairs() is a hash set; writing its iteration order would make
+  // the file depend on the hash function and insertion history. Sort the
+  // canonical pair keys so the same ground truth always serializes to the
+  // same bytes.
+  std::vector<std::uint64_t> keys(truth.pairs().begin(),
+                                  truth.pairs().end());
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t key : keys) {
     out << (key >> 32) << ',' << (key & 0xffffffffu) << '\n';
   }
   if (!out) return Status::IoError("write failed: " + path);

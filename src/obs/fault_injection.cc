@@ -27,7 +27,7 @@ FaultRegistry& FaultRegistry::Global() {
 }
 
 void FaultRegistry::Arm(std::string site, FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = sites_.insert_or_assign(std::move(site),
                                                 SiteState{std::move(plan)});
   (void)it;
@@ -35,26 +35,26 @@ void FaultRegistry::Arm(std::string site, FaultPlan plan) {
 }
 
 void FaultRegistry::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (sites_.erase(site) > 0) {
     armed_sites_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_sites_.fetch_sub(sites_.size(), std::memory_order_relaxed);
   sites_.clear();
 }
 
 std::uint64_t FaultRegistry::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t FaultRegistry::fires(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fires;
 }
@@ -68,7 +68,7 @@ void FaultRegistry::Hit(std::string_view site) {
   std::uint64_t stall_ms = 0;
   std::string message;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = sites_.find(std::string(site));
     if (it == sites_.end()) return;
     SiteState& state = it->second;

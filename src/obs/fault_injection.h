@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 /// \file fault_injection.h
 /// Deterministic fault-injection harness for the serving stack, gated by
@@ -104,8 +106,10 @@ class FaultRegistry {
     std::uint64_t fires = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, SiteState> sites_;
+  mutable Mutex mutex_;
+  /// Looked up by key only, never iterated — hash order cannot leak into
+  /// any output (tools/lint_determinism.py rule unordered-iteration).
+  std::unordered_map<std::string, SiteState> sites_ SPER_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> armed_sites_{0};
 };
 

@@ -80,7 +80,7 @@ void AppendSection(std::string& out, const char* section, const Map& map,
 }  // namespace
 
 Counter* Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -91,7 +91,7 @@ Counter* Registry::counter(std::string_view name) {
 }
 
 Gauge* Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -100,7 +100,7 @@ Gauge* Registry::gauge(std::string_view name) {
 }
 
 Histogram* Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -111,19 +111,19 @@ Histogram* Registry::histogram(std::string_view name) {
 }
 
 const Counter* Registry::FindCounter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* Registry::FindGauge(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* Registry::FindHistogram(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -142,7 +142,7 @@ std::uint32_t Registry::ThreadIndexLocked() {
 
 void Registry::RecordSpan(std::string_view name, Stopwatch::TimePoint start,
                           Stopwatch::TimePoint end, std::string args_json) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (spans_.size() >= kMaxSpans) {
     ++dropped_spans_;
     return;
@@ -157,17 +157,17 @@ void Registry::RecordSpan(std::string_view name, Stopwatch::TimePoint start,
 }
 
 std::size_t Registry::num_spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_.size();
 }
 
 std::uint64_t Registry::dropped_spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_spans_;
 }
 
 std::string Registry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\n  \"schema\": \"sper.metrics.v1\",\n";
   AppendSection(out, "counters", counters_, [](const Counter& c) {
     return JsonNumber(c.value());
@@ -210,7 +210,7 @@ bool Registry::WriteTraceJson(const std::string& path) const {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return false;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::fprintf(out, "[\n");
   for (std::size_t i = 0; i < spans_.size(); ++i) {
     const Span& span = spans_[i];

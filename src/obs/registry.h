@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 
@@ -97,17 +98,21 @@ class Registry {
   bool WriteTraceJson(const std::string& path) const;
 
  private:
-  std::uint32_t ThreadIndexLocked();
+  std::uint32_t ThreadIndexLocked() SPER_REQUIRES(mutex_);
 
   const Stopwatch::TimePoint epoch_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::vector<Span> spans_;
-  std::uint64_t dropped_spans_ = 0;
-  std::map<std::thread::id, std::uint32_t> thread_indices_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SPER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SPER_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SPER_GUARDED_BY(mutex_);
+  std::vector<Span> spans_ SPER_GUARDED_BY(mutex_);
+  std::uint64_t dropped_spans_ SPER_GUARDED_BY(mutex_) = 0;
+  std::map<std::thread::id, std::uint32_t> thread_indices_
+      SPER_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -11,7 +11,7 @@
 /// \file telemetry.h
 /// The instrumentation seam that library code holds: a TelemetryScope is
 /// a (Registry*, name-prefix) pair that flows through options structs
-/// (ResolverOptions -> EngineOptions -> per-shard scopes -> workflow /
+/// (ResolverOptions -> EngineConfig -> per-shard scopes -> workflow /
 /// emitter options). Code instruments unconditionally against the scope;
 /// the scope decides whether anything happens:
 ///

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/clock.h"
+
 /// \file cancel.h
 /// Cooperative cancellation for the serving stack: a `CancelToken` is a
 /// cheap shared handle that long-running pulls (Resolver::Serve draw
@@ -44,7 +46,11 @@ class CancelSource;
 /// their parent: either firing cancels the child.
 class CancelToken {
  public:
-  using Clock = std::chrono::steady_clock;
+  // The library's one monotonic clock (obs/clock.h): deadlines and the
+  // waits that honor them must read the same time source as every other
+  // timing site — tools/lint_determinism.py bans raw std::chrono clocks
+  // outside that header.
+  using Clock = obs::Stopwatch::Clock;
 
   CancelToken() = default;
 

@@ -1,14 +1,14 @@
 #ifndef SPER_PARALLEL_EMISSION_PIPELINE_H_
 #define SPER_PARALLEL_EMISSION_PIPELINE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/fault_injection.h"
 #include "obs/metrics.h"
@@ -101,8 +101,8 @@ class EmissionPipeline {
   void Shutdown() {
     if (!started_) return;
     ring_.Close();
-    std::unique_lock<std::mutex> lock(done_mutex_);
-    done_cv_.wait(lock, [this] { return done_; });
+    MutexLock lock(done_mutex_);
+    while (!done_) done_cv_.Wait(lock);
   }
 
   ~EmissionPipeline() { Shutdown(); }
@@ -143,7 +143,7 @@ class EmissionPipeline {
   /// finishing the ring, so the consumer can never see the nullptr first).
   /// `.exception == nullptr` means the stream ended cleanly.
   EmissionPipelineError error() const {
-    std::lock_guard<std::mutex> lock(done_mutex_);
+    MutexLock lock(done_mutex_);
     return error_;
   }
 
@@ -185,7 +185,7 @@ class EmissionPipeline {
     } catch (...) {
       // Publish before FinishProduction: once the consumer observes the
       // end-of-stream nullptr, error() is guaranteed to be populated.
-      std::lock_guard<std::mutex> lock(done_mutex_);
+      MutexLock lock(done_mutex_);
       error_ = {batch_index, std::current_exception()};
     }
     ring_.FinishProduction();
@@ -193,9 +193,9 @@ class EmissionPipeline {
       // Notify while still holding the mutex: the moment a Shutdown()
       // waiter can observe done_ the pipeline may be destroyed, so the
       // notify must not touch done_cv_ after the unlock.
-      std::lock_guard<std::mutex> lock(done_mutex_);
+      MutexLock lock(done_mutex_);
       done_ = true;
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 
@@ -203,12 +203,14 @@ class EmissionPipeline {
   Produce produce_;
   const EmissionPipelineMetrics* metrics_ = nullptr;
   std::string fault_site_;
+  /// Consumer-thread only (Start/Shutdown/destructor are all consumer
+  /// side), so unguarded by design.
   bool started_ = false;
 
-  mutable std::mutex done_mutex_;
-  std::condition_variable done_cv_;
-  bool done_ = false;
-  EmissionPipelineError error_;
+  mutable Mutex done_mutex_;
+  CondVar done_cv_;
+  bool done_ SPER_GUARDED_BY(done_mutex_) = false;
+  EmissionPipelineError error_ SPER_GUARDED_BY(done_mutex_);
 };
 
 }  // namespace sper

@@ -3,11 +3,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "obs/fault_injection.h"
 #include "parallel/cancel.h"
 
@@ -45,10 +45,9 @@ class SpscSlotRing {
   /// (telemetry: producer back-pressure).
   T* AcquireSlot(bool* stalled = nullptr) {
     SPER_FAULT_HIT("ring.acquire_slot");
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (stalled != nullptr) *stalled = !closed_ && size_ >= slots_.size();
-    can_produce_.wait(lock,
-                      [this] { return closed_ || size_ < slots_.size(); });
+    MutexLock lock(mutex_);
+    if (stalled != nullptr) *stalled = !CanProduceLocked();
+    while (!CanProduceLocked()) can_produce_.Wait(lock);
     if (closed_) return nullptr;
     return &slots_[(head_ + size_) % slots_.size()];
   }
@@ -56,20 +55,20 @@ class SpscSlotRing {
   /// Producer: publishes the slot returned by the last AcquireSlot.
   void CommitSlot() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++size_;
     }
-    can_consume_.notify_one();
+    can_consume_.NotifyOne();
   }
 
   /// Producer: no further commits will happen; once the committed slots
   /// are drained, Front() returns nullptr.
   void FinishProduction() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       finished_ = true;
     }
-    can_consume_.notify_one();
+    can_consume_.NotifyOne();
   }
 
   /// Consumer: the oldest committed slot, blocking until one is committed
@@ -78,10 +77,9 @@ class SpscSlotRing {
   /// found the ring empty and had to block (telemetry: consumer
   /// starvation).
   T* Front(bool* waited = nullptr) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (waited != nullptr) *waited = !closed_ && !finished_ && size_ == 0;
-    can_consume_.wait(lock,
-                      [this] { return closed_ || finished_ || size_ > 0; });
+    MutexLock lock(mutex_);
+    if (waited != nullptr) *waited = !CanConsumeLocked();
+    while (!CanConsumeLocked()) can_consume_.Wait(lock);
     if (closed_ || size_ == 0) return nullptr;
     return &slots_[head_];
   }
@@ -98,17 +96,16 @@ class SpscSlotRing {
                 bool* waited = nullptr) {
     *expired = false;
     if (!token.valid()) return Front(waited);
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto ready = [this] { return closed_ || finished_ || size_ > 0; };
-    if (waited != nullptr) *waited = !ready();
-    while (!ready()) {
+    MutexLock lock(mutex_);
+    if (waited != nullptr) *waited = !CanConsumeLocked();
+    while (!CanConsumeLocked()) {
       if (token.cancelled()) {
         *expired = true;
         return nullptr;
       }
       auto wake = CancelToken::Clock::now() + kCancelPollInterval;
       if (token.has_deadline()) wake = std::min(wake, token.deadline());
-      can_consume_.wait_until(lock, wake, ready);
+      can_consume_.WaitUntil(lock, wake);
     }
     if (closed_ || size_ == 0) return nullptr;
     return &slots_[head_];
@@ -118,21 +115,21 @@ class SpscSlotRing {
   /// producer.
   void PopFront() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       head_ = (head_ + 1) % slots_.size();
       --size_;
     }
-    can_produce_.notify_one();
+    can_produce_.NotifyOne();
   }
 
   /// Aborts the stream: both sides unblock and see nullptr. Idempotent.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    can_produce_.notify_all();
-    can_consume_.notify_all();
+    can_produce_.NotifyAll();
+    can_consume_.NotifyAll();
   }
 
   /// Number of slots.
@@ -140,19 +137,35 @@ class SpscSlotRing {
 
   /// Committed-but-unpopped slots right now (telemetry: ring occupancy).
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return size_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable can_produce_;
-  std::condition_variable can_consume_;
+  /// The producer may take a slot (or must stop): free capacity or close.
+  bool CanProduceLocked() const SPER_REQUIRES(mutex_) {
+    return closed_ || size_ < slots_.size();
+  }
+
+  /// The consumer has something to see: a committed slot, or end/abort.
+  bool CanConsumeLocked() const SPER_REQUIRES(mutex_) {
+    return closed_ || finished_ || size_ > 0;
+  }
+
+  mutable Mutex mutex_;
+  CondVar can_produce_;
+  CondVar can_consume_;
+  /// Slot storage is deliberately NOT guarded: AcquireSlot/Front hand out
+  /// raw pointers and the producer/consumer fill/drain them outside the
+  /// lock. The SPSC protocol keeps the two sides on disjoint slots (a
+  /// slot is only writable between AcquireSlot and CommitSlot, only
+  /// readable between Front and PopFront), and the mutex around the
+  /// index transitions provides the happens-before edge for the handoff.
   std::vector<T> slots_;
-  std::size_t head_ = 0;  // oldest committed slot
-  std::size_t size_ = 0;  // committed, not yet popped
-  bool finished_ = false;
-  bool closed_ = false;
+  std::size_t head_ SPER_GUARDED_BY(mutex_) = 0;  // oldest committed slot
+  std::size_t size_ SPER_GUARDED_BY(mutex_) = 0;  // committed, not popped
+  bool finished_ SPER_GUARDED_BY(mutex_) = false;
+  bool closed_ SPER_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sper

@@ -14,25 +14,25 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!AllDoneLocked()) all_done_.Wait(lock);
   if (first_exception_ != nullptr) {
     std::exception_ptr exception = std::exchange(first_exception_, nullptr);
     std::rethrow_exception(exception);
@@ -43,9 +43,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!WorkAvailableLocked()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -57,7 +56,7 @@ void ThreadPool::WorkerLoop() {
       exception = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (exception != nullptr) {
         if (first_exception_ == nullptr) {
           first_exception_ = exception;
@@ -71,7 +70,7 @@ void ThreadPool::WorkerLoop() {
           }
         }
       }
-      if (--in_flight_ == 0) all_done_.notify_all();
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

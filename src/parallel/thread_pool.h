@@ -2,16 +2,16 @@
 #define SPER_PARALLEL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "obs/metrics.h"
 
 /// \file thread_pool.h
@@ -66,13 +66,21 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::exception_ptr first_exception_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  /// Wait()'s resume condition: no submitted task is queued or running.
+  bool AllDoneLocked() const SPER_REQUIRES(mutex_) { return in_flight_ == 0; }
+
+  /// WorkerLoop's resume condition: work to take, or shutdown.
+  bool WorkAvailableLocked() const SPER_REQUIRES(mutex_) {
+    return shutting_down_ || !queue_.empty();
+  }
+
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ SPER_GUARDED_BY(mutex_);
+  std::exception_ptr first_exception_ SPER_GUARDED_BY(mutex_);
+  std::size_t in_flight_ SPER_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ SPER_GUARDED_BY(mutex_) = false;
   std::atomic<std::uint64_t> dropped_exceptions_{0};
   std::atomic<obs::Counter*> dropped_counter_{nullptr};
   std::vector<std::thread> workers_;

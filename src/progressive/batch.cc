@@ -11,6 +11,8 @@ std::vector<Comparison> DistinctBlockComparisons(const BlockCollection& blocks,
   // per-pair comparability test is needed here.
   (void)store;
   std::vector<Comparison> out;
+  // Membership-only (never iterated): emission order is the deterministic
+  // block/comparison visit order, the set only deduplicates.
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(blocks.AggregateCardinality());
   for (BlockId b = 0; b < blocks.size(); ++b) {

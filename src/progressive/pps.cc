@@ -1,8 +1,8 @@
 #include "progressive/pps.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "parallel/parallel_for.h"
 
@@ -95,15 +95,28 @@ PpsEmitter::PpsEmitter(const ProfileStore& store, BlockCollection blocks,
         }
       });
 
-  std::unordered_map<std::uint64_t, Comparison> top_comparisons;
+  std::vector<Comparison> top_comparisons;
   for (ProfileId i = 0; i < store_.size(); ++i) {
     if (!nodes[i].has_neighbors) continue;
     sorted_profiles_.emplace_back(i, nodes[i].likelihood);
-    // topComparisonsSet: a set, so the same pair contributed from both
-    // endpoints is stored once.
-    top_comparisons.emplace(PairKey(nodes[i].top.i, nodes[i].top.j),
-                            nodes[i].top);
+    top_comparisons.push_back(nodes[i].top);
   }
+  // topComparisonsSet: a set, so the same pair contributed from both
+  // endpoints is stored once. Dedup by the canonical pair key with a
+  // stable sort + unique (first-encountered survives, as with a hash
+  // set's first insert) — deliberately not an unordered container, whose
+  // iteration order would otherwise feed the initial list
+  // (tools/lint_determinism.py rule unordered-iteration).
+  std::stable_sort(top_comparisons.begin(), top_comparisons.end(),
+                   [](const Comparison& a, const Comparison& b) {
+                     return PairKey(a.i, a.j) < PairKey(b.i, b.j);
+                   });
+  top_comparisons.erase(
+      std::unique(top_comparisons.begin(), top_comparisons.end(),
+                  [](const Comparison& a, const Comparison& b) {
+                    return PairKey(a.i, a.j) == PairKey(b.i, b.j);
+                  }),
+      top_comparisons.end());
 
   // Sort profiles by decreasing duplication likelihood (deterministic tie
   // on id) and the initial Comparison List by decreasing weight.
@@ -113,7 +126,7 @@ PpsEmitter::PpsEmitter(const ProfileStore& store, BlockCollection blocks,
               return a.first < b.first;
             });
   initial_.Reserve(top_comparisons.size());
-  for (const auto& [key, comparison] : top_comparisons) {
+  for (const Comparison& comparison : top_comparisons) {
     initial_.Add(comparison);
   }
   initial_.SortDescending();

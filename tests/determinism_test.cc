@@ -118,7 +118,7 @@ TEST_P(ThreadCountInvarianceTest, OneAndFourThreadsEmitIdenticalSequences) {
   Result<DatasetBundle> dataset = GenerateDataset("restaurant");
   ASSERT_TRUE(dataset.ok());
   auto run = [&](std::size_t num_threads) {
-    EngineOptions options;
+    EngineConfig options;
     options.method = GetParam();
     options.num_threads = num_threads;
     ProgressiveEngine engine(dataset.value().store, options);
@@ -176,7 +176,7 @@ TEST(DeterminismTest, EjsDegreePassIsThreadCountInvariant) {
   Result<DatasetBundle> dataset = GenerateDataset("restaurant");
   ASSERT_TRUE(dataset.ok());
   auto run = [&](std::size_t num_threads) {
-    EngineOptions options;
+    EngineConfig options;
     options.method = MethodId::kPps;
     options.scheme = WeightingScheme::kEjs;
     options.num_threads = num_threads;

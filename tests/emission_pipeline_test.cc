@@ -224,7 +224,7 @@ std::vector<Comparison> EnginePrefix(const ProfileStore& store,
                                      MethodId method, std::size_t lookahead,
                                      std::size_t num_threads,
                                      std::size_t limit) {
-  EngineOptions options;
+  EngineConfig options;
   options.method = method;
   options.num_threads = num_threads;
   options.lookahead = lookahead;
@@ -254,16 +254,15 @@ TEST_P(PipelinedDeterminismTest, ShardedParallelRefillsKeepTheMergedOrder) {
   const ProfileStore store =
       GetParam().clean_clean ? CleanCleanStore() : DirtyStore();
   for (std::size_t num_shards : {1u, 4u}) {
-    ShardedEngineOptions serial;
-    serial.num_shards = num_shards;
-    serial.engine.method = GetParam().method;
-    ShardedEngine reference(store, serial);
+    EngineConfig serial;
+    serial.method = GetParam().method;
+    ShardedEngine reference(store, serial, num_shards);
     const std::vector<Comparison> expected = Drain(&reference, 2000);
 
-    ShardedEngineOptions pipelined = serial;
-    pipelined.engine.lookahead = 4;
-    pipelined.engine.num_threads = 4;
-    ShardedEngine engine(store, pipelined);
+    EngineConfig pipelined = serial;
+    pipelined.lookahead = 4;
+    pipelined.num_threads = 4;
+    ShardedEngine engine(store, pipelined, num_shards);
     SCOPED_TRACE("shards=" + std::to_string(num_shards));
     ExpectSameSequence(Drain(&engine, 2000), expected);
   }
@@ -285,13 +284,13 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(EmissionPipelineEngineTest, BudgetExhaustionAbandonsThePipelineCleanly) {
   const ProfileStore store = DirtyStore();
-  EngineOptions unbudgeted;
+  EngineConfig unbudgeted;
   unbudgeted.method = MethodId::kPps;
   unbudgeted.lookahead = 4;
   ProgressiveEngine full(store, unbudgeted);
   const std::vector<Comparison> reference = Drain(&full, 25);
 
-  EngineOptions options = unbudgeted;
+  EngineConfig options = unbudgeted;
   options.budget = 25;
   ProgressiveEngine engine(store, options);
   const std::vector<Comparison> emitted = Drain(&engine, 1000000);
@@ -303,19 +302,18 @@ TEST(EmissionPipelineEngineTest, BudgetExhaustionAbandonsThePipelineCleanly) {
 
 TEST(EmissionPipelineEngineTest, ShardedGlobalBudgetWithParallelRefills) {
   const ProfileStore store = DirtyStore();
-  ShardedEngineOptions options;
-  options.num_shards = 4;
-  options.engine.method = MethodId::kPps;
-  options.engine.budget = 25;
-  options.engine.lookahead = 4;
-  ShardedEngine engine(store, options);
+  EngineConfig config;
+  config.method = MethodId::kPps;
+  config.budget = 25;
+  config.lookahead = 4;
+  ShardedEngine engine(store, config, 4);
   EXPECT_EQ(Drain(&engine, 1000000).size(), 25u);
   EXPECT_TRUE(engine.BudgetExhausted());
 }  // four shard producers abandoned mid-stream: destructor must not hang
 
 TEST(EmissionPipelineEngineTest, UndrainedPipelinedEngineDestructsCleanly) {
   const ProfileStore store = DirtyStore();
-  EngineOptions options;
+  EngineConfig options;
   options.method = MethodId::kPbs;
   options.lookahead = 64;
   ProgressiveEngine engine(store, options);
@@ -327,25 +325,24 @@ TEST(EmissionPipelineEngineTest, ManyShardsFallBackToSerialRefills) {
   // refills instead of spawning a thread per shard; the merged stream
   // must be unchanged.
   const ProfileStore store = DirtyStore();  // 864 profiles, ~128 active
-  ShardedEngineOptions serial;
-  serial.num_shards = 128;
-  serial.engine.method = MethodId::kPps;
-  ShardedEngine reference(store, serial);
+  EngineConfig serial;
+  serial.method = MethodId::kPps;
+  ShardedEngine reference(store, serial, 128);
   const std::vector<Comparison> expected = Drain(&reference, 1000);
 
-  ShardedEngineOptions pipelined = serial;
-  pipelined.engine.lookahead = 4;
-  ShardedEngine engine(store, pipelined);
+  EngineConfig pipelined = serial;
+  pipelined.lookahead = 4;
+  ShardedEngine engine(store, pipelined, 128);
   ExpectSameSequence(Drain(&engine, 1000), expected);
 }
 
 TEST(EmissionPipelineEngineTest, SortBasedMethodsIgnoreLookahead) {
   const ProfileStore store = DirtyStore();
-  EngineOptions serial;
+  EngineConfig serial;
   serial.method = MethodId::kSaPsn;
   ProgressiveEngine reference(store, serial);
 
-  EngineOptions options = serial;
+  EngineConfig options = serial;
   options.lookahead = 8;
   ProgressiveEngine engine(store, options);
   ExpectSameSequence(Drain(&engine, 500), Drain(&reference, 500));

@@ -40,7 +40,7 @@ TEST(ProgressiveEngineTest, MatchesDirectlyConstructedEmitter) {
   BlockCollection blocks = BuildTokenWorkflowBlocks(dataset.store);
   PpsEmitter direct(dataset.store, std::move(blocks));
 
-  EngineOptions options;
+  EngineConfig options;
   options.method = MethodId::kPps;
   ProgressiveEngine engine(dataset.store, options);
 
@@ -56,7 +56,7 @@ TEST(ProgressiveEngineTest, MatchesDirectlyConstructedEmitter) {
 
 TEST(ProgressiveEngineTest, BudgetCapsEmission) {
   const DatasetBundle dataset = Restaurant();
-  EngineOptions options;
+  EngineConfig options;
   options.method = MethodId::kPps;
   options.budget = 10;
   ProgressiveEngine engine(dataset.store, options);
@@ -70,7 +70,7 @@ TEST(ProgressiveEngineTest, BudgetCapsEmission) {
 
 TEST(ProgressiveEngineTest, ZeroBudgetMeansUnlimited) {
   const DatasetBundle dataset = Restaurant();
-  EngineOptions options;
+  EngineConfig options;
   options.method = MethodId::kPps;
   ProgressiveEngine engine(dataset.store, options);
   std::vector<Comparison> emitted = Drain(&engine, 1000000);
@@ -89,7 +89,7 @@ TEST(ProgressiveEngineTest, RoutesEveryScheduleBasedMethod) {
        {Case{MethodId::kSaPsn, "SA-PSN"}, Case{MethodId::kSaPsab, "SA-PSAB"},
         Case{MethodId::kLsPsn, "LS-PSN"}, Case{MethodId::kGsPsn, "GS-PSN"},
         Case{MethodId::kPbs, "PBS"}, Case{MethodId::kPps, "PPS"}}) {
-    EngineOptions options;
+    EngineConfig options;
     options.method = c.method;
     ProgressiveEngine engine(dataset.store, options);
     EXPECT_EQ(engine.name(), c.name);
@@ -100,7 +100,7 @@ TEST(ProgressiveEngineTest, RoutesEveryScheduleBasedMethod) {
 TEST(ProgressiveEngineTest, RunsSchemaBasedPsnWithKey) {
   const DatasetBundle dataset = Restaurant();
   ASSERT_TRUE(dataset.psn_key != nullptr);
-  EngineOptions options;
+  EngineConfig options;
   options.method = MethodId::kPsn;
   options.schema_key = dataset.psn_key;
   ProgressiveEngine engine(dataset.store, options);
@@ -110,10 +110,10 @@ TEST(ProgressiveEngineTest, RunsSchemaBasedPsnWithKey) {
 
 TEST(ProgressiveEngineTest, InitStatsReportWorkflowCollection) {
   const DatasetBundle dataset = Restaurant();
-  EngineOptions options;
+  EngineConfig options;
   options.method = MethodId::kPps;
   ProgressiveEngine engine(dataset.store, options);
-  const EngineInitStats& stats = engine.init_stats();
+  const InitStats& stats = engine.init_stats();
   EXPECT_GT(stats.num_blocks, 0u);
   EXPECT_GT(stats.aggregate_cardinality, 0u);
   EXPECT_GE(stats.init_seconds, 0.0);

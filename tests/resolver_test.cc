@@ -134,17 +134,13 @@ TEST(ResolverOptionsTest, CreatePicksPlainAndShardedEngines) {
 TEST(EngineInterfaceTest, PlainAndShardedBehaveIdenticallyThroughBase) {
   const ProfileStore store = DirtyStore();
 
-  EngineOptions plain_options;
-  plain_options.method = MethodId::kPps;
-  plain_options.budget = 40;
-  ShardedEngineOptions sharded_options;
-  sharded_options.num_shards = 4;
-  sharded_options.engine = plain_options;
+  EngineConfig config;
+  config.method = MethodId::kPps;
+  config.budget = 40;
 
   std::vector<std::unique_ptr<Engine>> engines;
-  engines.push_back(std::make_unique<ProgressiveEngine>(store, plain_options));
-  engines.push_back(
-      std::make_unique<ShardedEngine>(store, sharded_options));
+  engines.push_back(std::make_unique<ProgressiveEngine>(store, config));
+  engines.push_back(std::make_unique<ShardedEngine>(store, config, 4));
 
   for (std::unique_ptr<Engine>& engine : engines) {
     SCOPED_TRACE(std::string("shards=") +

@@ -16,6 +16,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/store_partition.h"
@@ -141,18 +142,17 @@ std::vector<Comparison> ShardedPrefix(const ProfileStore& store,
                                       std::size_t num_shards,
                                       std::size_t num_threads,
                                       std::size_t limit) {
-  ShardedEngineOptions options;
-  options.num_shards = num_shards;
-  options.engine.method = method;
-  options.engine.num_threads = num_threads;
-  ShardedEngine engine(store, options);
+  EngineConfig config;
+  config.method = method;
+  config.num_threads = num_threads;
+  ShardedEngine engine(store, std::move(config), num_shards);
   return Drain(&engine, limit);
 }
 
 TEST_P(ShardedDeterminismTest, SingleShardBitIdenticalToPlainEngine) {
   const ProfileStore store =
       GetParam().clean_clean ? CleanCleanStore() : DirtyStore();
-  EngineOptions plain;
+  EngineConfig plain;
   plain.method = GetParam().method;
   ProgressiveEngine reference(store, plain);
   const std::vector<Comparison> expected = Drain(&reference, 3000);
@@ -210,11 +210,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ShardedEngineTest, GlobalBudgetEnforcedAcrossShards) {
   const ProfileStore store = DirtyStore();
-  ShardedEngineOptions options;
-  options.num_shards = 4;
-  options.engine.method = MethodId::kPps;
-  options.engine.budget = 25;
-  ShardedEngine engine(store, options);
+  EngineConfig config;
+  config.method = MethodId::kPps;
+  config.budget = 25;
+  ShardedEngine engine(store, config, 4);
 
   const std::vector<Comparison> emitted = Drain(&engine, 1000000);
   EXPECT_EQ(emitted.size(), 25u);
@@ -224,34 +223,32 @@ TEST(ShardedEngineTest, GlobalBudgetEnforcedAcrossShards) {
 
   // Unbudgeted, the same sharded run emits strictly more: the cap came
   // from the global budget, not from any one shard running dry.
-  ShardedEngineOptions unlimited = options;
-  unlimited.engine.budget = 0;
-  ShardedEngine full(store, unlimited);
+  EngineConfig unlimited = config;
+  unlimited.budget = 0;
+  ShardedEngine full(store, std::move(unlimited), 4);
   EXPECT_GT(Drain(&full, 1000000).size(), 25u);
 }
 
 TEST(ShardedEngineTest, BudgetedPrefixMatchesUnbudgetedStream) {
   const ProfileStore store = DirtyStore();
-  ShardedEngineOptions options;
-  options.num_shards = 2;
-  options.engine.method = MethodId::kPbs;
-  ShardedEngine full(store, options);
+  EngineConfig config;
+  config.method = MethodId::kPbs;
+  ShardedEngine full(store, config, 2);
   const std::vector<Comparison> reference = Drain(&full, 40);
 
-  options.engine.budget = 40;
-  ShardedEngine budgeted(store, options);
+  config.budget = 40;
+  ShardedEngine budgeted(store, std::move(config), 2);
   ExpectSameSequence(Drain(&budgeted, 1000000), reference);
 }
 
 TEST(ShardedEngineTest, ReportsAggregateInitStats) {
   const ProfileStore store = DirtyStore();
-  ShardedEngineOptions options;
-  options.num_shards = 4;
-  options.engine.method = MethodId::kPps;
-  ShardedEngine engine(store, options);
+  EngineConfig config;
+  config.method = MethodId::kPps;
+  ShardedEngine engine(store, std::move(config), 4);
   EXPECT_EQ(engine.name(), "PPS");
   EXPECT_EQ(engine.num_shards(), 4u);
-  const ShardedInitStats& stats = engine.init_stats();
+  const InitStats& stats = engine.init_stats();
   EXPECT_GT(stats.num_blocks, 0u);
   EXPECT_GT(stats.aggregate_cardinality, 0u);
   ASSERT_EQ(stats.shard_sizes.size(), 4u);
@@ -269,10 +266,9 @@ TEST(ShardedEngineTest, MoreShardsThanProfilesStillServes) {
   ps[1].AddAttribute("name", "alpha beta gamma");
   ps[2].AddAttribute("name", "delta epsilon");
   ProfileStore store = ProfileStore::MakeDirty(std::move(ps));
-  ShardedEngineOptions options;
-  options.num_shards = 64;
-  options.engine.method = MethodId::kPps;
-  ShardedEngine engine(store, options);
+  EngineConfig config;
+  config.method = MethodId::kPps;
+  ShardedEngine engine(store, std::move(config), 64);
   const std::vector<Comparison> merged = Drain(&engine, 100);
   for (const Comparison& c : merged) {
     EXPECT_TRUE(store.IsComparable(c.i, c.j));

@@ -1,0 +1,47 @@
+// Negative-control fixture for run_compile_check.sh: the repo's locking
+// conventions done right. If this stops compiling under
+// -Werror=thread-safety the harness (or the annotation layer) broke, not
+// the code under test.
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    sper::MutexLock lock(mutex_);
+    balance_ += amount;
+    changed_.NotifyAll();
+  }
+
+  // The repo's condition-wait convention: an explicit while loop over a
+  // REQUIRES-annotated predicate (never the lambda-predicate overload,
+  // which the analysis cannot see into).
+  void WaitForPositive() {
+    sper::MutexLock lock(mutex_);
+    while (!PositiveLocked()) changed_.Wait(lock);
+  }
+
+  int Read() {
+    sper::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  bool PositiveLocked() const SPER_REQUIRES(mutex_) { return balance_ > 0; }
+
+  sper::Mutex mutex_;
+  sper::CondVar changed_;
+  int balance_ SPER_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.WaitForPositive();
+  return account.Read() > 0 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Thread-safety analysis compile-check harness.
+#
+# Proves the annotation layer is live, not decorative:
+#   - guarded_access.cc   (correct locking)  MUST compile cleanly;
+#   - unguarded_access.cc (a guarded field mutated without the lock)
+#     MUST be rejected, with a thread-safety diagnostic.
+#
+# The analysis is Clang-only; under any other compiler the check exits 77
+# (the ctest SKIP_RETURN_CODE), and the CI static-analysis job runs it
+# for real with clang++.
+#
+# Usage: run_compile_check.sh <compiler> <src-include-dir> <fixture-dir>
+set -u
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: $0 <compiler> <src-include-dir> <fixture-dir>" >&2
+  exit 2
+fi
+compiler="$1"
+include_dir="$2"
+fixture_dir="$3"
+
+if ! "$compiler" --version 2>/dev/null | grep -qi clang; then
+  echo "SKIP: $compiler is not Clang; thread-safety analysis unavailable"
+  exit 77
+fi
+
+flags="-std=c++20 -fsyntax-only -I$include_dir -Wthread-safety -Werror=thread-safety"
+
+echo "== guarded_access.cc must compile =="
+if ! "$compiler" $flags "$fixture_dir/guarded_access.cc"; then
+  echo "FAIL: correctly locked fixture was rejected" >&2
+  exit 1
+fi
+
+echo "== unguarded_access.cc must be rejected =="
+diagnostics=$("$compiler" $flags "$fixture_dir/unguarded_access.cc" 2>&1)
+status=$?
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: unguarded access compiled — the analysis is not running" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$diagnostics" | grep -q "thread-safety"; then
+  echo "FAIL: rejection was not a thread-safety diagnostic:" >&2
+  printf '%s\n' "$diagnostics" >&2
+  exit 1
+fi
+
+echo "PASS: analysis accepts guarded access and rejects unguarded access"
+exit 0

@@ -1,0 +1,27 @@
+// Positive fixture for run_compile_check.sh: mutates a GUARDED_BY field
+// without its mutex. Clang's thread-safety analysis MUST reject this
+// translation unit; if it compiles, the analysis is off and the harness
+// fails the build.
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BUG (deliberate): writes balance_ without holding mutex_.
+  void RacyDeposit(int amount) { balance_ += amount; }
+
+ private:
+  sper::Mutex mutex_;
+  int balance_ SPER_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.RacyDeposit(1);
+  return 0;
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# source file under src/, treating warnings as errors.
+#
+# Requires a compile_commands.json; point SPER_TIDY_BUILD_DIR at a build
+# tree configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default;
+# see CMakeLists.txt). Without clang-tidy installed the script skips
+# loudly and exits 0, so local GCC-only environments stay green — the CI
+# static-analysis job is the enforcing run.
+#
+# Usage: [SPER_TIDY_BUILD_DIR=build] tools/run_tidy.sh [extra args...]
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${SPER_TIDY_BUILD_DIR:-$repo_root/build}"
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "SKIP: $tidy not installed; install clang-tidy or rely on the CI" \
+       "static-analysis job" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B \"$build_dir\" -S \"$repo_root\"" >&2
+  echo "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default.)" >&2
+  exit 2
+fi
+
+# Every .cc under src/ that the compile database knows about. Headers are
+# covered through HeaderFilterRegex.
+mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "error: no sources under $repo_root/src" >&2
+  exit 2
+fi
+
+echo "clang-tidy over ${#sources[@]} files (build dir: $build_dir)"
+failed=0
+for source in "${sources[@]}"; do
+  if ! "$tidy" -p "$build_dir" --quiet --warnings-as-errors='*' "$@" \
+       "$source"; then
+    failed=1
+  fi
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "clang-tidy: violations found" >&2
+  exit 1
+fi
+echo "clang-tidy: clean"
+exit 0
