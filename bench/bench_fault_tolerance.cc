@@ -26,7 +26,6 @@
 // speedup is baseline/path wall time at the same configuration.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +39,7 @@
 #include "datagen/datagen.h"
 #include "engine/resolver.h"
 #include "eval/table.h"
+#include "obs/clock.h"
 #include "obs/fault_injection.h"
 
 namespace {
@@ -47,10 +47,8 @@ namespace {
 using namespace sper;
 using sper::bench::DrainResult;
 
-double Millis(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
+double Millis(const obs::Stopwatch& watch) {
+  return watch.ElapsedSeconds() * 1000.0;
 }
 
 /// Nearest-rank percentile over per-slice latencies (q in [0, 1]).
@@ -78,14 +76,14 @@ SessionRun RunSession(const ProfileStore& store,
       sper::bench::CreateResolverOrDie(store, options);
   ResolverSession session = resolver->OpenSession();
   SessionRun run;
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch start;
   std::uint64_t empty_streak = 0;
   for (;;) {
     ResolveRequest request;
     request.budget = batch;
     request.max_batch = batch;
     request.deadline_ms = deadline_ms;
-    const auto slice_start = std::chrono::steady_clock::now();
+    const obs::Stopwatch slice_start;
     ResolveResult slice = session.Resolve(request);
     run.slice_ms.push_back(Millis(slice_start));
     if (!slice.status.ok()) {
@@ -94,7 +92,7 @@ SessionRun RunSession(const ProfileStore& store,
       std::exit(1);
     }
     for (const Comparison& c : slice.comparisons) run.drain.Fold(c);
-    run.deadline_cuts += slice.deadline_exceeded ? 1 : 0;
+    run.deadline_cuts += slice.deadline_exceeded() ? 1 : 0;
     if (slice.stream_exhausted || slice.budget_exhausted) break;
     // A deadline can expire before a slice draws anything; bail out if
     // that stops being progress (e.g. a stall longer than the deadline

@@ -29,7 +29,6 @@
 // telemetry-instrumented run — the timed runs stay telemetry-free, and
 // the instrumented stream is digest-checked against the reference.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +41,7 @@
 #include "datagen/datagen.h"
 #include "engine/resolver.h"
 #include "eval/table.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/telemetry.h"
@@ -50,10 +50,8 @@ namespace {
 
 using namespace sper;
 
-double Millis(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
+double Millis(const obs::Stopwatch& watch) {
+  return watch.ElapsedSeconds() * 1000.0;
 }
 
 using sper::bench::DrainResult;
@@ -65,7 +63,7 @@ DrainResult RunOnce(const ProfileStore& store,
   std::unique_ptr<Resolver> resolver =
       sper::bench::CreateResolverOrDie(store, options);
   DrainResult result;
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch start;
   if (batch == 0) {
     while (std::optional<Comparison> c = resolver->Next()) {
       result.Fold(*c);

@@ -22,6 +22,7 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  kResourceExhausted,
 };
 
 /// Outcome of a fallible operation: a code plus a human-readable message.
@@ -46,6 +47,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

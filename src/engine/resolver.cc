@@ -1,6 +1,7 @@
 #include "engine/resolver.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <string>
 #include <utility>
@@ -33,6 +34,52 @@ EngineConfig ToEngineConfig(const ResolverOptions& options) {
 }
 
 }  // namespace
+
+std::string_view ToString(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
+std::optional<Priority> ParsePriority(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "interactive") return Priority::kInteractive;
+  if (lower == "batch") return Priority::kBatch;
+  if (lower == "best_effort" || lower == "besteffort" ||
+      lower == "best-effort") {
+    return Priority::kBestEffort;
+  }
+  return std::nullopt;
+}
+
+std::string_view ToString(ResolveOutcome outcome) {
+  switch (outcome) {
+    case ResolveOutcome::kServed:
+      return "served";
+    case ResolveOutcome::kDeadlineExpired:
+      return "deadline_expired";
+    case ResolveOutcome::kCancelled:
+      return "cancelled";
+    case ResolveOutcome::kShed:
+      return "shed";
+    case ResolveOutcome::kEvicted:
+      return "evicted";
+    case ResolveOutcome::kRejected:
+      return "rejected";
+    case ResolveOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 Status ResolverOptions::Validate() const {
   if (num_threads == 0 || num_threads > kMaxThreads) {
@@ -99,6 +146,7 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
   // stream consumption). Requests that lose the race — ticket taken just
   // as Drain() begins — are caught by the post-ticket re-check below.
   if (draining_.load(std::memory_order_seq_cst)) {
+    result.outcome = ResolveOutcome::kRejected;
     result.status = Status::FailedPrecondition("resolver is draining");
     if (rejected_ != nullptr) rejected_->Add();
     return result;
@@ -145,6 +193,7 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
     // Drain began between the fast-path check and the ticket: serve an
     // empty rejected slice — the guard still advances now_serving_, which
     // is what lets Drain's horizon wait terminate.
+    result.outcome = ResolveOutcome::kRejected;
     result.status = Status::FailedPrecondition("resolver is draining");
     if (rejected_ != nullptr) rejected_->Add();
     return result;
@@ -152,6 +201,7 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
   if (poison_reported_) {
     // The engine's failure was already surfaced to an earlier request;
     // later ones get the stable "this resolver is dead" answer.
+    result.outcome = ResolveOutcome::kRejected;
     result.status = Status::FailedPrecondition(
         "resolver engine poisoned: " + engine_->status().message());
     if (rejected_ != nullptr) rejected_->Add();
@@ -170,10 +220,10 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
 
   const auto record_cut = [&] {
     if (token.reason() == CancelReason::kDeadline) {
-      result.deadline_exceeded = true;
+      result.outcome = ResolveOutcome::kDeadlineExpired;
       if (deadline_exceeded_ != nullptr) deadline_exceeded_->Add();
     } else {
-      result.cancelled = true;
+      result.outcome = ResolveOutcome::kCancelled;
       if (cancelled_ != nullptr) cancelled_->Add();
     }
   };
@@ -204,6 +254,7 @@ ResolveResult Resolver::Serve(const ResolveRequest& request) {
     } else if (pulled == PullStatus::kCancelled) {
       record_cut();
     } else {  // kError: the first observer reports the contained failure
+      result.outcome = ResolveOutcome::kFailed;
       result.status = engine_->status();
       poison_reported_ = true;
       if (errors_ != nullptr) errors_->Add();

@@ -116,6 +116,30 @@ struct ResolverOptions {
   Status Validate() const;
 };
 
+/// Identifies the client behind a request for per-client QoS (token-bucket
+/// rate limiting, shed-backoff state) in the serving layer
+/// (src/serving/qos.h). 0 = anonymous: anonymous requests share one
+/// bucket. The plain Resolver ignores it — FIFO admission is client-blind.
+using ClientId = std::uint64_t;
+
+/// Priority class of a request, used by the QoS admission controller's
+/// weighted-round-robin lanes (src/serving/qos.h). The plain Resolver
+/// ignores it — FIFO admission is priority-blind; QoS scheduling is the
+/// serving layer's job.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,  // latency-sensitive, highest weight
+  kBatch = 1,        // throughput work, middle weight
+  kBestEffort = 2,   // scavenger class, lowest weight
+};
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// "interactive" / "batch" / "best_effort" (metric-name-safe spellings).
+std::string_view ToString(Priority priority);
+
+/// Inverse of ToString; also accepts "besteffort" and "best-effort".
+/// nullopt for unknown names.
+std::optional<Priority> ParsePriority(std::string_view name);
+
 /// One pay-as-you-go request against a ResolverSession.
 struct ResolveRequest {
   /// Comparisons this request pays for: the returned slice holds at most
@@ -133,18 +157,63 @@ struct ResolveRequest {
   /// Wall-clock deadline in milliseconds, measured from *arrival* (queue
   /// wait counts — an interactive client cares about total latency, not
   /// service time); 0 = none. An expired request returns whatever partial
-  /// slice it drew with `deadline_exceeded` set; nothing is torn down and
+  /// slice it drew with `deadline_exceeded()` set; nothing is torn down and
   /// the next ticket continues the stream bit-identically. FIFO admission
   /// is never skipped: an expired queued request still takes its turn,
   /// it just draws nothing once admitted.
   std::uint64_t deadline_ms = 0;
 
   /// Optional external cancellation: when this token fires mid-slice the
-  /// request returns its partial slice with `cancelled` set (same
+  /// request returns its partial slice with `cancelled()` set (same
   /// lossless-continuation guarantee as a deadline). Combined with
   /// deadline_ms, whichever fires first wins. Default = never fires.
   CancelToken cancel;
+
+  /// Who is asking (0 = anonymous). Read by the QoS admission controller
+  /// for per-client rate limiting; ignored by the plain Resolver.
+  ClientId client_id = 0;
+
+  /// The request's priority class. Read by the QoS admission controller's
+  /// weighted lanes; ignored by the plain Resolver.
+  Priority priority = Priority::kInteractive;
 };
+
+/// What ultimately happened to a request — the one authoritative outcome
+/// of a ResolveResult. Exactly one value applies per result; the legacy
+/// `deadline_exceeded()` / `cancelled()` readers and the `status` field
+/// derive from it (see ResolveResult).
+enum class ResolveOutcome : std::uint8_t {
+  /// Admitted and served normally. The slice may still be short or empty
+  /// when the stream or a budget ran out — see the `stream_exhausted` /
+  /// `budget_exhausted` flags, which are orthogonal stream facts, not
+  /// outcomes.
+  kServed = 0,
+  /// Admitted, but the deadline passed before the slice filled; the
+  /// partial slice is returned and the stream is intact.
+  kDeadlineExpired,
+  /// Admitted, but the request's CancelToken fired first; partial slice
+  /// as above.
+  kCancelled,
+  /// Never admitted: load-shed by the QoS controller (queue bound or
+  /// rate limit). status is ResourceExhausted and `retry_after_ms` holds
+  /// the backoff hint. The stream was not consumed.
+  kShed,
+  /// Never served: the QoS controller evicted the queued request because
+  /// its deadline would expire before its estimated service start. Same
+  /// client-visible meaning as kDeadlineExpired (deadline_exceeded()
+  /// reads true), but no stream capacity was spent on it.
+  kEvicted,
+  /// Never admitted: the resolver is draining, or its engine was already
+  /// poisoned. status is FailedPrecondition.
+  kRejected,
+  /// The request observed the engine's contained producer failure first;
+  /// status is Internal with shard/batch context. Terminal for the
+  /// resolver (later requests get kRejected).
+  kFailed,
+};
+
+/// Stable lowercase name ("served", "deadline_expired", ...).
+std::string_view ToString(ResolveOutcome outcome);
 
 /// One served slice of the resolver's ranked stream.
 struct ResolveResult {
@@ -159,26 +228,53 @@ struct ResolveResult {
   std::vector<Comparison> comparisons;
 
   /// The underlying method ran out of comparisons during this slice.
+  /// Orthogonal to `outcome` (a kServed slice can be the one that drains
+  /// the stream).
   bool stream_exhausted = false;
 
   /// The resolver's global budget (ResolverOptions::budget) ran out
-  /// during, or before, this slice.
+  /// during, or before, this slice. Orthogonal to `outcome`.
   bool budget_exhausted = false;
 
-  /// The request's deadline passed before the slice filled; `comparisons`
-  /// holds the partial slice drawn so far. The stream is intact.
-  bool deadline_exceeded = false;
+  /// The one authoritative disposition of the request. Everything below
+  /// derives from it; new dispositions (QoS shed, eviction) extend this
+  /// enum instead of growing another ad-hoc flag.
+  ResolveOutcome outcome = ResolveOutcome::kServed;
 
-  /// The request's CancelToken fired before the slice filled; partial
-  /// slice as above. The stream is intact.
-  bool cancelled = false;
-
-  /// Why the request could not be (fully) served. Ok for every normal
-  /// slice, including deadline/cancel/exhaustion cuts. FailedPrecondition
-  /// when the request was rejected (resolver draining, or the engine
-  /// already poisoned); Internal — with shard and batch context — for the
-  /// request that first observes a contained producer failure.
+  /// Why the request could not be (fully) served, as a transportable
+  /// error. Ok for kServed/kDeadlineExpired/kCancelled/kEvicted (a cut is
+  /// not an error); ResourceExhausted with a human-readable reason for
+  /// kShed; FailedPrecondition for kRejected; Internal — with shard and
+  /// batch context — for kFailed. Carries the message; `outcome` carries
+  /// the decision.
   Status status = Status::Ok();
+
+  /// Backoff hint for kShed results: the client should wait at least this
+  /// long before retrying (token-bucket deficit, multiplied by an
+  /// exponential per-client backoff under consecutive sheds). 0 for every
+  /// other outcome.
+  std::uint64_t retry_after_ms = 0;
+
+  /// Thin readers over `outcome`, kept for the pre-QoS call sites.
+  /// deadline_exceeded() covers eviction too: an evicted request's
+  /// deadline is equally missed, the controller just found out before
+  /// spending stream capacity on it.
+  bool deadline_exceeded() const {
+    return outcome == ResolveOutcome::kDeadlineExpired ||
+           outcome == ResolveOutcome::kEvicted;
+  }
+  bool cancelled() const { return outcome == ResolveOutcome::kCancelled; }
+
+  /// True when the request was admitted to the stream (it holds a live
+  /// ticket and its slice — possibly empty — is part of the global
+  /// emission order). Shed/evicted/rejected requests never consume the
+  /// stream.
+  bool admitted() const {
+    return outcome == ResolveOutcome::kServed ||
+           outcome == ResolveOutcome::kDeadlineExpired ||
+           outcome == ResolveOutcome::kCancelled ||
+           outcome == ResolveOutcome::kFailed;
+  }
 };
 
 class ResolverSession;

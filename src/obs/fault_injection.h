@@ -28,6 +28,10 @@
 ///                                when sharded, e.g. "refill.shard0")
 ///   - "merge.draw"               one ShardedEngine k-way-merge draw
 ///   - "session.admit"            one Resolver::Serve admission
+///   - "qos.admit"                one QosAdmissionController::Resolve entry
+///   - "qos.shed"                 one QoS load-shed (rate limit or queue
+///                                bound), on the requester's thread
+///   - "qos.evict"                one QoS doomed-request eviction
 ///
 /// The registry is process-global (seams live in templates and hot loops
 /// that have no injection context to thread a handle through), guarded by

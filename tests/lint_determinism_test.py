@@ -157,6 +157,18 @@ class RawClockTest(unittest.TestCase):
                  "using Clock = obs::Stopwatch::Clock;\n"}
         self.assertEqual(rules(run(files)), [])
 
+    def test_flags_raw_clock_in_serving_layer(self):
+        # The QoS admission controller must take time from an injected
+        # obs::ClockSource, never read a clock itself.
+        files = {"src/serving/qos_helper.cc":
+                 "auto t = std::chrono::steady_clock::now();\n"}
+        self.assertIn("DET003", rules(run(files)))
+
+    def test_silent_on_injected_clock_source_in_serving(self):
+        files = {"src/serving/qos_helper.cc":
+                 "const std::uint64_t now = clock_->NowNanos();\n"}
+        self.assertEqual(rules(run(files)), [])
+
 
 class BareThrowTest(unittest.TestCase):
     def test_flags_throw_in_producer_code(self):

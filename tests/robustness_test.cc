@@ -13,6 +13,14 @@
 //   to race with concurrent Serve(): every request is either fully
 //   served or cleanly rejected with FailedPrecondition, and the served
 //   slices in ticket order form an exact prefix of the un-batched drain;
+// - the QoS admission controller (src/serving/qos.h) composes with all
+//   of the above: shed-then-retry clients still reassemble the exact
+//   stream at every (method, shards, lookahead) combination, batch
+//   requests wait a bounded number of dispatches under sustained
+//   interactive load (smooth WRR), doomed requests are evicted without
+//   consuming stream capacity while barely-feasible ones are served, and
+//   Drain() racing a full shed queue rejects every parked request
+//   cleanly instead of deadlocking;
 // - ThreadPool surfaces the first task exception from Wait() and counts
 //   the rest in dropped_exceptions() instead of discarding them;
 // - with SPER_FAULT_INJECT compiled in (skipped otherwise): an injected
@@ -37,11 +45,13 @@
 
 #include "datagen/datagen.h"
 #include "engine/resolver.h"
+#include "obs/clock.h"
 #include "obs/fault_injection.h"
 #include "obs/registry.h"
 #include "obs/telemetry.h"
 #include "parallel/cancel.h"
 #include "parallel/thread_pool.h"
+#include "serving/qos.h"
 
 namespace sper {
 namespace {
@@ -206,8 +216,8 @@ TEST(ResolverCancelTest, CutRequestsContinueBitIdentically) {
     cancelled_request.budget = 1000;
     cancelled_request.cancel = source.token();
     ResolveResult cancelled = session.Resolve(cancelled_request);
-    EXPECT_TRUE(cancelled.cancelled);
-    EXPECT_FALSE(cancelled.deadline_exceeded);
+    EXPECT_TRUE(cancelled.cancelled());
+    EXPECT_FALSE(cancelled.deadline_exceeded());
     EXPECT_TRUE(cancelled.status.ok()) << "a cut is not an error";
     EXPECT_TRUE(cancelled.comparisons.empty());
     append(cancelled);
@@ -219,8 +229,8 @@ TEST(ResolverCancelTest, CutRequestsContinueBitIdentically) {
     expired_request.cancel =
         CancelToken().WithDeadline(std::chrono::nanoseconds(0));
     ResolveResult expired = session.Resolve(expired_request);
-    EXPECT_TRUE(expired.deadline_exceeded);
-    EXPECT_FALSE(expired.cancelled);
+    EXPECT_TRUE(expired.deadline_exceeded());
+    EXPECT_FALSE(expired.cancelled());
     EXPECT_TRUE(expired.status.ok());
     EXPECT_TRUE(expired.comparisons.empty());
     append(expired);
@@ -231,7 +241,7 @@ TEST(ResolverCancelTest, CutRequestsContinueBitIdentically) {
     generous.deadline_ms = 600000;
     ResolveResult relaxed = session.Resolve(generous);
     EXPECT_EQ(relaxed.comparisons.size(), 100u);
-    EXPECT_FALSE(relaxed.deadline_exceeded);
+    EXPECT_FALSE(relaxed.deadline_exceeded());
     append(relaxed);
 
     // Drain the remainder: the concatenation across normal, cut and
@@ -433,6 +443,215 @@ TEST(ResolverDrainTest, ConcurrentServeDrainAndSnapshotAreRaceFree) {
   EXPECT_FALSE(registry.SnapshotJson().empty());
 }
 
+// ------------------------------------------------ QoS layer composition
+
+/// Spins until `depth` requests are parked in the controller's lanes.
+void AwaitQueueDepth(const serving::QosAdmissionController& controller,
+                     std::size_t depth) {
+  while (controller.queue_depth() < depth) std::this_thread::yield();
+}
+
+// A rate-limited client that backs off by exactly the controller's
+// retry_after_ms hint and retries still reassembles the bit-identical
+// stream at every (method, shards, lookahead) combination — sheds never
+// consume stream capacity and never reorder it.
+TEST(QosRobustnessTest, ShedThenRetryKeepsStreamBitIdentical) {
+  const ProfileStore store = DirtyStore();
+  for (const ServingConfig& config : ServingMatrix()) {
+    SCOPED_TRACE(TraceOf(config));
+    ResolverOptions options;
+    options.method = config.method;
+    options.num_shards = config.num_shards;
+    options.lookahead = config.lookahead;
+    options.budget = 600;
+    const std::vector<Comparison> reference =
+        Drain(MustCreate(store, options).get(), 1000000);
+    ASSERT_FALSE(reference.empty());
+
+    std::unique_ptr<Resolver> resolver = MustCreate(store, options);
+    obs::ManualClock clock;
+    serving::QosOptions qos;
+    qos.clock = &clock;
+    qos.client_rate = 5.0;  // one token per 200 ms
+    qos.client_burst = 2.0;
+    serving::QosAdmissionController controller(*resolver, qos);
+
+    std::vector<Comparison> concatenated;
+    std::uint64_t sheds = 0;
+    bool done = false;
+    while (!done) {
+      ResolveRequest request;
+      request.budget = 64;
+      request.client_id = 42;
+      ResolveResult slice = controller.Resolve(request);
+      if (slice.outcome == ResolveOutcome::kShed) {
+        ++sheds;
+        ASSERT_GT(slice.retry_after_ms, 0u);
+        clock.AdvanceMillis(slice.retry_after_ms);
+        continue;
+      }
+      ASSERT_EQ(slice.outcome, ResolveOutcome::kServed);
+      concatenated.insert(concatenated.end(), slice.comparisons.begin(),
+                          slice.comparisons.end());
+      done = slice.stream_exhausted || slice.budget_exhausted;
+    }
+    EXPECT_GT(sheds, 0u) << "the rate limit never bit";
+    ExpectSameSequence(concatenated, reference);
+    resolver->Drain();
+  }
+}
+
+// The starvation bound: 16 interactive requests queued ahead do not
+// starve 2 batch requests. Smooth WRR over weights {8,2} dispatches
+// I I B I I | I I B ... — the batch lane is served at dispatches 2 and 7
+// (resolver tickets prove it), not after all 16 interactive.
+TEST(QosRobustnessTest, BatchWaitIsBoundedUnderSustainedInteractiveLoad) {
+  const ProfileStore store = DirtyStore();
+  std::unique_ptr<Resolver> resolver = MustCreate(store, {});
+  obs::ManualClock clock;
+  serving::QosOptions qos;
+  qos.clock = &clock;  // default weights {8, 2, 1}
+  serving::QosAdmissionController controller(*resolver, qos);
+
+  controller.SetDispatchPaused(true);
+  std::mutex mu;
+  std::vector<std::uint64_t> batch_tickets;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 16; ++i) {
+    workers.emplace_back([&] {
+      ResolveRequest request;
+      request.budget = 1;
+      request.priority = Priority::kInteractive;
+      ASSERT_EQ(controller.Resolve(request).outcome, ResolveOutcome::kServed);
+    });
+  }
+  for (int i = 0; i < 2; ++i) {
+    workers.emplace_back([&] {
+      ResolveRequest request;
+      request.budget = 1;
+      request.priority = Priority::kBatch;
+      ResolveResult result = controller.Resolve(request);
+      ASSERT_EQ(result.outcome, ResolveOutcome::kServed);
+      std::lock_guard<std::mutex> hold(mu);
+      batch_tickets.push_back(result.ticket);
+    });
+  }
+  AwaitQueueDepth(controller, 18);
+  controller.SetDispatchPaused(false);
+  for (std::thread& worker : workers) worker.join();
+
+  ASSERT_EQ(batch_tickets.size(), 2u);
+  std::sort(batch_tickets.begin(), batch_tickets.end());
+  EXPECT_EQ(batch_tickets[0], 2u);
+  EXPECT_EQ(batch_tickets[1], 7u);
+}
+
+// Doomed eviction composes with a sharded, pipelined engine: the evicted
+// request spends no stream capacity, so the barely-feasible one that
+// follows it still reads the exact head of the stream.
+TEST(QosRobustnessTest, DoomedEvictionVsBarelyMakesDeadline) {
+  const ProfileStore store = DirtyStore();
+  ResolverOptions options;
+  options.num_shards = 2;
+  options.lookahead = 2;
+  const std::vector<Comparison> reference =
+      Drain(MustCreate(store, options).get(), 32);
+  ASSERT_EQ(reference.size(), 32u);
+
+  std::unique_ptr<Resolver> resolver = MustCreate(store, options);
+  obs::ManualClock clock;
+  serving::QosOptions qos;
+  qos.clock = &clock;
+  serving::QosAdmissionController controller(*resolver, qos);
+
+  controller.SetDispatchPaused(true);
+  ResolveResult doomed_result;
+  std::thread doomed([&] {
+    ResolveRequest request;
+    request.budget = 32;
+    request.deadline_ms = 50;  // cannot survive the 100 ms queue wait
+    doomed_result = controller.Resolve(request);
+  });
+  AwaitQueueDepth(controller, 1);
+  ResolveResult barely_result;
+  std::thread barely([&] {
+    ResolveRequest request;
+    request.budget = 32;
+    request.deadline_ms = 5000;  // survives it comfortably
+    barely_result = controller.Resolve(request);
+  });
+  AwaitQueueDepth(controller, 2);
+  clock.AdvanceMillis(100);
+  controller.SetDispatchPaused(false);
+  doomed.join();
+  barely.join();
+
+  EXPECT_EQ(doomed_result.outcome, ResolveOutcome::kEvicted);
+  EXPECT_TRUE(doomed_result.deadline_exceeded());
+  EXPECT_TRUE(doomed_result.comparisons.empty());
+  ASSERT_EQ(barely_result.outcome, ResolveOutcome::kServed);
+  EXPECT_EQ(barely_result.ticket, 0u)
+      << "the eviction must not have taken a ticket";
+  ExpectSameSequence(barely_result.comparisons, reference);
+  resolver->Drain();
+}
+
+// Drain() while the controller holds a full queue of parked requests:
+// the parked requests hold no resolver tickets, so the drain completes
+// immediately; releasing the queue afterwards rejects every parked
+// request cleanly (no deadlock, no half-served slice).
+TEST(QosRobustnessTest, DrainRacingAFullShedQueueRejectsCleanly) {
+  const ProfileStore store = DirtyStore();
+  std::unique_ptr<Resolver> resolver = MustCreate(store, {});
+  obs::ManualClock clock;
+  serving::QosOptions qos;
+  qos.clock = &clock;
+  qos.max_queue_depth = 4;
+  serving::QosAdmissionController controller(*resolver, qos);
+
+  controller.SetDispatchPaused(true);
+  std::mutex mu;
+  std::vector<ResolveResult> parked_results;
+  std::vector<std::thread> parked;
+  for (int i = 0; i < 4; ++i) {
+    parked.emplace_back([&] {
+      ResolveRequest request;
+      request.budget = 8;
+      ResolveResult result = controller.Resolve(request);
+      std::lock_guard<std::mutex> hold(mu);
+      parked_results.push_back(result);
+    });
+  }
+  AwaitQueueDepth(controller, 4);
+
+  // The queue is at its bound: the next request sheds, not queues.
+  ResolveRequest overflow;
+  overflow.budget = 8;
+  ResolveResult shed = controller.Resolve(overflow);
+  EXPECT_EQ(shed.outcome, ResolveOutcome::kShed);
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+
+  // Drain completes while all four requests are still parked: none of
+  // them holds a ticket, so there is nothing to wait for.
+  resolver->Drain();
+  EXPECT_TRUE(resolver->draining());
+
+  controller.SetDispatchPaused(false);
+  for (std::thread& t : parked) t.join();
+
+  ASSERT_EQ(parked_results.size(), 4u);
+  for (const ResolveResult& result : parked_results) {
+    EXPECT_EQ(result.outcome, ResolveOutcome::kRejected);
+    EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_TRUE(result.comparisons.empty());
+  }
+
+  // Post-drain requests flow through the controller and reject too.
+  ResolveRequest late;
+  late.budget = 8;
+  EXPECT_EQ(controller.Resolve(late).outcome, ResolveOutcome::kRejected);
+}
+
 // ------------------------------------------- thread-pool exception health
 
 TEST(ThreadPoolTest, DroppedTaskExceptionsAreCountedNotSwallowed) {
@@ -547,7 +766,7 @@ TEST_F(FaultInjectionTest, StalledRefillsPlusDeadlinesStillReassemble) {
       ASSERT_TRUE(slice.status.ok()) << slice.status.ToString();
       concatenated.insert(concatenated.end(), slice.comparisons.begin(),
                           slice.comparisons.end());
-      cuts += slice.deadline_exceeded ? 1 : 0;
+      cuts += slice.deadline_exceeded() ? 1 : 0;
       done = slice.stream_exhausted || slice.budget_exhausted;
       if (cuts >= 3 && !done) break;  // enough deadline pressure observed
     }
@@ -602,6 +821,49 @@ TEST_F(FaultInjectionTest, AllInstrumentedSeamsAreReachable) {
   EXPECT_GT(registry.hits("refill.shard0"), 0u);
   EXPECT_GT(registry.hits("merge.draw"), 0u);
   EXPECT_GT(registry.hits("session.admit"), 0u);
+}
+
+TEST_F(FaultInjectionTest, QosSeamsAreReachable) {
+  const ProfileStore store = DirtyStore();
+  obs::FaultPlan probe;
+  probe.action = obs::FaultPlan::Action::kStall;
+  probe.stall_ms = 0;
+  for (const char* site : {"qos.admit", "qos.shed", "qos.evict"}) {
+    obs::FaultRegistry::Global().Arm(site, probe);
+  }
+
+  std::unique_ptr<Resolver> resolver = MustCreate(store, {});
+  obs::ManualClock clock;
+  serving::QosOptions qos;
+  qos.clock = &clock;
+  qos.client_rate = 10.0;
+  qos.client_burst = 1.0;
+  serving::QosAdmissionController controller(*resolver, qos);
+
+  // One served request (qos.admit), one rate-limit shed (qos.shed), one
+  // expired-in-the-lane eviction (qos.evict).
+  ResolveRequest request;
+  request.budget = 4;
+  request.client_id = 1;
+  ASSERT_EQ(controller.Resolve(request).outcome, ResolveOutcome::kServed);
+  ASSERT_EQ(controller.Resolve(request).outcome, ResolveOutcome::kShed);
+
+  controller.SetDispatchPaused(true);
+  std::thread doomed([&] {
+    ResolveRequest late;
+    late.budget = 4;
+    late.deadline_ms = 10;
+    ASSERT_EQ(controller.Resolve(late).outcome, ResolveOutcome::kEvicted);
+  });
+  AwaitQueueDepth(controller, 1);
+  clock.AdvanceMillis(20);
+  controller.SetDispatchPaused(false);
+  doomed.join();
+
+  obs::FaultRegistry& registry = obs::FaultRegistry::Global();
+  EXPECT_GT(registry.hits("qos.admit"), 0u);
+  EXPECT_GT(registry.hits("qos.shed"), 0u);
+  EXPECT_GT(registry.hits("qos.evict"), 0u);
 }
 
 }  // namespace

@@ -9,7 +9,8 @@
 //
 //   sper_cli run <dataset> --method=NAME [--seed=N] [--scale=S]
 //                [--ecmax=E] [--threads=N] [--shards=N] [--lookahead=N]
-//                [--budget=N] [--deadline-ms=N] [--curve=FILE.csv]
+//                [--budget=N] [--deadline-ms=N] [--priority=NAME]
+//                [--client-rate=R] [--curve=FILE.csv]
 //                [--metrics-json=FILE] [--trace=FILE]
 //       Run one progressive method under the paper's evaluation protocol;
 //       print the recall curve and AUC*, optionally dump the curve as CSV.
@@ -27,6 +28,13 @@
 //       deadline per resolve request (ResolveRequest::deadline_ms);
 //       slices cut at the deadline are retried, the stream stays
 //       bit-identical, and a summary counts the cut slices.
+//       --priority=NAME (interactive | batch | best_effort) and
+//       --client-rate=R (requests/second, token-bucket limited) serve
+//       the drain through the QoS admission controller
+//       (src/serving/qos.h): requests carry the priority class, and a
+//       shed request waits the controller's retry_after_ms hint and
+//       retries — the stream stays bit-identical, and a summary counts
+//       the shed retries.
 //       Method names are case-insensitive ("pps" == "PPS").
 //       --metrics-json=FILE and --trace=FILE turn on telemetry for the
 //       run: the drain is served through the session layer (in slices
@@ -49,6 +57,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -60,6 +69,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/store_partition.h"
 #include "datagen/datagen.h"
@@ -71,6 +81,7 @@
 #include "eval/table.h"
 #include "io/dataset_io.h"
 #include "progressive/workflow.h"
+#include "serving/qos.h"
 
 namespace {
 
@@ -292,6 +303,19 @@ class SessionEmitter : public ProgressiveEmitter {
         deadline_ms_(deadline_ms),
         deadline_hits_(std::move(deadline_hits)) {}
 
+  /// Routes every request through a QoS admission controller instead of
+  /// the raw session: requests carry `priority`, and a shed request backs
+  /// off by the controller's retry_after_ms hint and retries
+  /// (`shed_retries` counts those). The emitted stream is unchanged —
+  /// sheds never consume it.
+  void EnableQos(serving::QosOptions options, Priority priority,
+                 std::shared_ptr<std::uint64_t> shed_retries) {
+    qos_ = std::make_unique<serving::QosAdmissionController>(
+        *resolver_, std::move(options));
+    priority_ = priority;
+    shed_retries_ = std::move(shed_retries);
+  }
+
   std::optional<Comparison> Next() override {
     while (cursor_ >= slice_.comparisons.size()) {
       if (done_) return std::nullopt;
@@ -299,9 +323,22 @@ class SessionEmitter : public ProgressiveEmitter {
       request.budget = kSliceBudget;
       request.max_batch = kSliceBudget;
       request.deadline_ms = deadline_ms_;
-      slice_ = session_.Resolve(request);
+      request.priority = priority_;
+      request.client_id = 1;  // the CLI drain is one client
+      if (qos_ != nullptr) {
+        ResolveResult attempt = qos_->Resolve(request);
+        if (attempt.outcome == ResolveOutcome::kShed) {
+          if (shed_retries_ != nullptr) ++*shed_retries_;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(attempt.retry_after_ms));
+          continue;
+        }
+        slice_ = std::move(attempt);
+      } else {
+        slice_ = session_.Resolve(request);
+      }
       cursor_ = 0;
-      if (slice_.deadline_exceeded || slice_.cancelled) {
+      if (slice_.deadline_exceeded() || slice_.cancelled()) {
         // A cut slice is partial, not the end: take what it holds and
         // ask again — the next ticket continues bit-identically.
         if (deadline_hits_ != nullptr) ++*deadline_hits_;
@@ -326,6 +363,9 @@ class SessionEmitter : public ProgressiveEmitter {
   ResolverSession session_;
   std::uint64_t deadline_ms_ = 0;
   std::shared_ptr<std::uint64_t> deadline_hits_;
+  std::unique_ptr<serving::QosAdmissionController> qos_;
+  Priority priority_ = Priority::kInteractive;
+  std::shared_ptr<std::uint64_t> shed_retries_;
   ResolveResult slice_;
   std::size_t cursor_ = 0;
   int empty_streak_ = 0;
@@ -335,12 +375,14 @@ class SessionEmitter : public ProgressiveEmitter {
 int CmdRun(const CliArgs& args) {
   RequireKnownOptions(args, {"seed", "scale", "method", "ecmax", "threads",
                              "shards", "lookahead", "budget", "deadline-ms",
-                             "curve", "metrics-json", "trace"});
+                             "priority", "client-rate", "curve",
+                             "metrics-json", "trace"});
   if (args.positional.size() < 2 || !args.options.count("method")) {
     std::fprintf(stderr, "usage: sper_cli run <dataset> --method=NAME "
                          "[--seed=N] [--scale=S] [--ecmax=E] [--threads=N] "
                          "[--shards=N] [--lookahead=N] [--budget=N] "
-                         "[--deadline-ms=N] [--curve=FILE.csv] "
+                         "[--deadline-ms=N] [--priority=NAME] "
+                         "[--client-rate=R] [--curve=FILE.csv] "
                          "[--metrics-json=FILE] [--trace=FILE]\n");
     return 2;
   }
@@ -383,8 +425,26 @@ int CmdRun(const CliArgs& args) {
   const std::uint64_t deadline_ms =
       OptUint(args, "deadline-ms", 0, 0,
               std::numeric_limits<std::uint64_t>::max());
-  const bool use_sessions = telemetry_on || deadline_ms > 0;
+
+  Priority priority = Priority::kInteractive;
+  if (args.options.count("priority")) {
+    const std::optional<Priority> parsed =
+        ParsePriority(args.options.at("priority"));
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "--priority=%s: unknown class (want interactive, batch, "
+                   "or best_effort)\n",
+                   args.options.at("priority").c_str());
+      return 2;
+    }
+    priority = *parsed;
+  }
+  const double client_rate = OptDouble(args, "client-rate", 0.0);
+  const bool use_qos =
+      args.options.count("priority") || args.options.count("client-rate");
+  const bool use_sessions = telemetry_on || deadline_ms > 0 || use_qos;
   auto deadline_hits = std::make_shared<std::uint64_t>(0);
+  auto shed_retries = std::make_shared<std::uint64_t>(0);
 
   RunResult run = evaluator.Run(
       [&]() -> std::unique_ptr<ProgressiveEmitter> {
@@ -394,8 +454,15 @@ int CmdRun(const CliArgs& args) {
         // Route the drain through the session layer so the trace shows
         // one span per resolve request — and so a --deadline-ms applies
         // per request (same emitted stream either way).
-        return std::make_unique<SessionEmitter>(std::move(resolver),
-                                                deadline_ms, deadline_hits);
+        auto emitter = std::make_unique<SessionEmitter>(
+            std::move(resolver), deadline_ms, deadline_hits);
+        if (use_qos) {
+          serving::QosOptions qos_options;
+          qos_options.client_rate = client_rate;
+          qos_options.telemetry = config.telemetry;
+          emitter->EnableQos(std::move(qos_options), priority, shed_retries);
+        }
+        return emitter;
       });
 
   if (config.num_shards > 1) {
@@ -420,6 +487,16 @@ int CmdRun(const CliArgs& args) {
                 static_cast<unsigned long long>(
                     SessionEmitter::kSliceBudget),
                 static_cast<unsigned long long>(*deadline_hits));
+  }
+  if (use_qos) {
+    std::printf("qos admission: priority %s, client rate %s req/s; "
+                "%llu shed retr%s (each waited the controller's "
+                "retry_after_ms hint)\n",
+                std::string(ToString(priority)).c_str(),
+                client_rate > 0.0 ? FormatDouble(client_rate, 1).c_str()
+                                  : "unlimited",
+                static_cast<unsigned long long>(*shed_retries),
+                *shed_retries == 1 ? "y" : "ies");
   }
   std::printf("%s on %s: %zu/%zu matches after %llu comparisons "
               "(recall %.3f)\n",
