@@ -52,6 +52,14 @@ class Status {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
+  /// Reconstructs a Status from a (code, message) pair that crossed a
+  /// serialization boundary (net/wire.cc transports the code as one byte).
+  /// A kOk code yields Ok() and drops the message — OK statuses carry none.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Ok();
+    return Status(code, std::move(msg));
+  }
+
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
   /// The error category.

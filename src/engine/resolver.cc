@@ -108,6 +108,27 @@ Status ResolverOptions::Validate() const {
   return Status::Ok();
 }
 
+Status ValidateResolveRequest(const ResolveRequest& request) {
+  if (request.max_batch > ResolveRequest::kMaxBatch) {
+    return Status::InvalidArgument(
+        "max_batch must be <= " +
+        std::to_string(ResolveRequest::kMaxBatch) + ", got " +
+        std::to_string(request.max_batch));
+  }
+  if (request.deadline_ms > ResolveRequest::kMaxDeadlineMs) {
+    return Status::InvalidArgument(
+        "deadline_ms must be <= " +
+        std::to_string(ResolveRequest::kMaxDeadlineMs) + ", got " +
+        std::to_string(request.deadline_ms));
+  }
+  if (static_cast<std::size_t>(request.priority) >= kNumPriorities) {
+    return Status::InvalidArgument(
+        "priority must be a known class, got " +
+        std::to_string(static_cast<unsigned>(request.priority)));
+  }
+  return Status::Ok();
+}
+
 Resolver::Resolver(ResolverOptions options, std::unique_ptr<Engine> engine)
     : options_(std::move(options)), engine_(std::move(engine)) {
   const obs::TelemetryScope& scope = options_.telemetry;

@@ -170,13 +170,32 @@ struct ResolveRequest {
   CancelToken cancel;
 
   /// Who is asking (0 = anonymous). Read by the QoS admission controller
-  /// for per-client rate limiting; ignored by the plain Resolver.
+  /// for per-client rate limiting; ignored by the plain Resolver. The
+  /// network server (src/net/server.h) substitutes its per-connection id
+  /// for 0 so anonymous remote clients still get per-connection QoS.
   ClientId client_id = 0;
 
   /// The request's priority class. Read by the QoS admission controller's
   /// weighted lanes; ignored by the plain Resolver.
   Priority priority = Priority::kInteractive;
+
+  /// Validation bounds shared by every request-accepting surface (see
+  /// ValidateResolveRequest below). kMaxBatch also bounds one wire
+  /// response frame: net/wire.h sizes kMaxFramePayload so a slice of
+  /// kMaxBatch comparisons always fits one frame.
+  static constexpr std::size_t kMaxBatch = 1u << 20;
+  static constexpr std::uint64_t kMaxDeadlineMs = 86'400'000;  // 24 h
 };
+
+/// The one request validator, shared by the CLI flag path (sper_cli run /
+/// client build requests from strict flags) and the wire decode path
+/// (net/wire.cc validates every decoded frame before the server serves
+/// it): max_batch <= kMaxBatch, deadline_ms <= kMaxDeadlineMs, priority a
+/// known class. `budget` is intentionally unbounded — delivery is capped
+/// by max_batch (the server clamps 0 = uncapped to kMaxBatch), so a huge
+/// budget buys many slices, never one huge response. OK iff servable;
+/// InvalidArgument naming the offending field otherwise.
+Status ValidateResolveRequest(const ResolveRequest& request);
 
 /// What ultimately happened to a request — the one authoritative outcome
 /// of a ResolveResult. Exactly one value applies per result; the legacy

@@ -1,0 +1,64 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/wire.h"
+
+namespace sper {
+namespace net {
+
+Result<Client> Client::Connect(const std::string& host, std::uint16_t port) {
+  Result<Socket> socket = ConnectTcp(host, port);
+  if (!socket.ok()) return socket.status();
+  return Client(std::move(socket).value());
+}
+
+Result<std::string> Client::RoundTrip(const std::string& frame) {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  SPER_RETURN_IF_ERROR(WriteFrame(socket_, frame));
+  std::string payload;
+  Status read_error = Status::Ok();
+  const ReadStatus read = ReadFrame(socket_, &payload, &read_error);
+  if (read == ReadStatus::kEof) {
+    return Status::IoError("server closed the connection mid-exchange");
+  }
+  if (read == ReadStatus::kError) return read_error;
+  return payload;
+}
+
+Result<ResolveResult> Client::Resolve(const ResolveRequest& request) {
+  SPER_RETURN_IF_ERROR(ValidateResolveRequest(request));
+  Result<std::string> payload =
+      RoundTrip(EncodeResolveRequestFrame(request));
+  if (!payload.ok()) return payload.status();
+  return DecodeResolveResult(payload.value());
+}
+
+Result<ResolveResult> Client::ResolveWithRetry(const ResolveRequest& request,
+                                               std::size_t max_retries) {
+  Result<ResolveResult> result = Resolve(request);
+  for (std::size_t retry = 0; retry < max_retries; ++retry) {
+    if (!result.ok() || result.value().outcome != ResolveOutcome::kShed) {
+      return result;
+    }
+    const std::uint64_t backoff_ms = result.value().retry_after_ms;
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    result = Resolve(request);
+  }
+  return result;
+}
+
+Result<std::string> Client::FetchMetricsJson() {
+  Result<std::string> payload = RoundTrip(EncodeMetricsRequestFrame());
+  if (!payload.ok()) return payload.status();
+  return DecodeMetricsResult(payload.value());
+}
+
+}  // namespace net
+}  // namespace sper

@@ -1,0 +1,344 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "net/wire.h"
+#include "obs/clock.h"
+#include "obs/fault_injection.h"
+
+namespace sper {
+namespace net {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IoError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Server::Server(Resolver& resolver, ServerOptions options)
+    : resolver_(resolver), options_(std::move(options)) {
+  qos_ = std::make_unique<serving::QosAdmissionController>(resolver_,
+                                                           options_.qos);
+  const obs::TelemetryScope& telemetry = options_.telemetry;
+  connections_metric_ = telemetry.counter("net.connections");
+  frames_in_metric_ = telemetry.counter("net.frames_in");
+  frames_out_metric_ = telemetry.counter("net.frames_out");
+  bytes_in_metric_ = telemetry.counter("net.bytes_in");
+  bytes_out_metric_ = telemetry.counter("net.bytes_out");
+  requests_metric_ = telemetry.counter("net.requests");
+  read_errors_metric_ = telemetry.counter("net.read_errors");
+  write_errors_metric_ = telemetry.counter("net.write_errors");
+  protocol_errors_metric_ = telemetry.counter("net.protocol_errors");
+  active_connections_metric_ = telemetry.gauge("net.active_connections");
+  request_ns_metric_ = telemetry.histogram("net.request_ns");
+}
+
+Result<std::unique_ptr<Server>> Server::Start(Resolver& resolver,
+                                              ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(resolver, std::move(options)));
+  Result<Socket> listen = ListenTcp(server->options_.host,
+                                    server->options_.port,
+                                    server->options_.backlog);
+  if (!listen.ok()) return listen.status();
+  server->listen_socket_ = std::move(listen).value();
+  Result<std::uint16_t> port = LocalPort(server->listen_socket_);
+  if (!port.ok()) return port.status();
+  server->port_ = port.value();
+
+  int wake[2];
+  if (::pipe(wake) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  server->wake_read_fd_ = wake[0];
+  server->wake_write_fd_ = wake[1];
+  SPER_RETURN_IF_ERROR(SetNonBlocking(wake[0]));
+  SPER_RETURN_IF_ERROR(SetNonBlocking(wake[1]));
+
+  server->acceptor_ = std::thread(&Server::AcceptLoop, server.get());
+  server->started_ = true;
+  return server;
+}
+
+Server::~Server() {
+  Shutdown();
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void Server::WakeAcceptor() {
+  const char byte = 1;
+  // Best-effort: a full pipe means a wakeup is already pending.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void Server::Shutdown() {
+  if (!started_) return;
+  {
+    MutexLock lock(mutex_);
+    if (stopping_) {
+      // A concurrent Shutdown (destructor racing an explicit call) waits
+      // for the first one to finish the drain rather than returning into
+      // a still-live server.
+      while (!drained_) shutdown_cv_.Wait(lock);
+      return;
+    }
+    stopping_ = true;
+  }
+  WakeAcceptor();
+  if (acceptor_.joinable()) acceptor_.join();
+  // Close the listener: with it merely un-polled the kernel would keep
+  // completing handshakes into the backlog, so connects would still
+  // "succeed" against a dead server.
+  listen_socket_.Close();
+
+  // The acceptor is gone, so the connection table is final. Shut down the
+  // read half of every live connection: blocked reads wake at a frame
+  // boundary (clean EOF), while a response mid-write still flushes.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    MutexLock lock(mutex_);
+    connections.swap(connections_);
+    if (active_connections_metric_ != nullptr) {
+      active_connections_metric_->Set(0.0);
+    }
+  }
+  for (const std::unique_ptr<Connection>& conn : connections) {
+    if (conn->socket.valid()) ::shutdown(conn->socket.fd(), SHUT_RD);
+  }
+  for (const std::unique_ptr<Connection>& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  connections.clear();  // closes the sockets
+
+  resolver_.Drain();
+  {
+    MutexLock lock(mutex_);
+    drained_ = true;
+  }
+  shutdown_cv_.NotifyAll();
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  stats.frames_in = frames_in_.load(std::memory_order_relaxed);
+  stats.frames_out = frames_out_.load(std::memory_order_relaxed);
+  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.requests_rejected =
+      requests_rejected_.load(std::memory_order_relaxed);
+  stats.read_errors = read_errors_.load(std::memory_order_relaxed);
+  stats.write_errors = write_errors_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Server::ReapFinished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    MutexLock lock(mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (active_connections_metric_ != nullptr) {
+      active_connections_metric_->Set(
+          static_cast<double>(connections_.size()));
+    }
+  }
+  for (const std::unique_ptr<Connection>& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_socket_.fd(), POLLIN, 0};
+    fds[1] = {wake_read_fd_, POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;  // poll itself failed; Shutdown still drains what exists
+    }
+    if (fds[1].revents != 0) {
+      char drain[64];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    ReapFinished();
+    {
+      MutexLock lock(mutex_);
+      if (stopping_) return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    for (;;) {
+      const int fd = ::accept(listen_socket_.fd(), nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN (burst drained) or transient error: re-poll
+      }
+      Socket socket(fd);
+      try {
+        SPER_FAULT_HIT("net.accept");
+      } catch (const std::exception&) {
+        // Injected accept fault: this connection is dropped before it is
+        // ever served; the listener and live connections are untouched.
+        connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      auto conn = std::make_unique<Connection>();
+      conn->socket = std::move(socket);
+      Connection* raw = conn.get();
+      bool admitted = false;
+      {
+        MutexLock lock(mutex_);
+        if (!stopping_ &&
+            (options_.max_connections == 0 ||
+             connections_.size() < options_.max_connections)) {
+          conn->id = next_connection_id_++;
+          connections_.push_back(std::move(conn));
+          if (active_connections_metric_ != nullptr) {
+            active_connections_metric_->Set(
+                static_cast<double>(connections_.size()));
+          }
+          admitted = true;
+        }
+      }
+      if (!admitted) {
+        connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+        continue;  // `conn` still owns the socket; closed on scope exit
+      }
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      if (connections_metric_ != nullptr) connections_metric_->Add();
+      raw->thread = std::thread(&Server::ConnectionMain, this, raw);
+    }
+  }
+}
+
+void Server::ConnectionMain(Connection* conn) {
+  try {
+    ServeConnection(*conn);
+  } catch (const std::exception&) {
+    // An injected net.read/net.write fault (or any unexpected error)
+    // behaves exactly as a peer disconnect: this connection ends; the
+    // resolver and every other connection's stream are untouched.
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (read_errors_metric_ != nullptr) read_errors_metric_->Add();
+  }
+  // The socket stays open until the acceptor (or Shutdown) joins this
+  // thread and destroys the Connection — closing it here would let the
+  // kernel reuse the fd while Shutdown may still shutdown(fd, SHUT_RD).
+  conn->done.store(true, std::memory_order_release);
+  WakeAcceptor();
+}
+
+void Server::ServeConnection(Connection& conn) {
+  std::string payload;
+  for (;;) {
+    SPER_FAULT_HIT("net.read");
+    Status read_error = Status::Ok();
+    const ReadStatus read = ReadFrame(conn.socket, &payload, &read_error);
+    if (read == ReadStatus::kEof) return;
+    if (read == ReadStatus::kError) {
+      read_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (read_errors_metric_ != nullptr) read_errors_metric_->Add();
+      return;
+    }
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_.fetch_add(payload.size() + 4, std::memory_order_relaxed);
+    if (frames_in_metric_ != nullptr) frames_in_metric_->Add();
+    if (bytes_in_metric_ != nullptr) {
+      bytes_in_metric_->Add(payload.size() + 4);
+    }
+
+    const Result<FrameType> type = DecodeFrameHeader(payload);
+    std::string response;
+    if (type.ok() && type.value() == FrameType::kResolveRequest) {
+      response = HandleResolveFrame(conn, payload);
+    } else if (type.ok() && type.value() == FrameType::kMetricsRequest) {
+      response = EncodeMetricsResultFrame(MetricsJson());
+    } else {
+      // Bad version/type — or a server-to-client frame type arriving
+      // server-ward. Either way the byte stream is no longer trusted.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (protocol_errors_metric_ != nullptr) protocol_errors_metric_->Add();
+      return;
+    }
+
+    SPER_FAULT_HIT("net.write");
+    const Status write_status = WriteFrame(conn.socket, response);
+    if (!write_status.ok()) {
+      write_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (write_errors_metric_ != nullptr) write_errors_metric_->Add();
+      return;
+    }
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+    bytes_out_.fetch_add(response.size(), std::memory_order_relaxed);
+    if (frames_out_metric_ != nullptr) frames_out_metric_->Add();
+    if (bytes_out_metric_ != nullptr) bytes_out_metric_->Add(response.size());
+  }
+}
+
+std::string Server::HandleResolveFrame(const Connection& conn,
+                                       std::string_view payload) {
+  Result<ResolveRequest> decoded = DecodeResolveRequest(payload);
+  if (!decoded.ok()) {
+    // Well-framed but unservable: reply politely and keep the connection.
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    ResolveResult rejected;
+    rejected.outcome = ResolveOutcome::kRejected;
+    rejected.status = decoded.status();
+    return EncodeResolveResultFrame(rejected);
+  }
+  ResolveRequest request = decoded.value();
+  if (request.client_id == 0) request.client_id = conn.id;
+  if (request.max_batch == 0) request.max_batch = ResolveRequest::kMaxBatch;
+
+  const obs::Stopwatch watch;
+  const ResolveResult result = qos_->Resolve(request);
+  const obs::Stopwatch::TimePoint end = obs::Stopwatch::Now();
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (requests_metric_ != nullptr) requests_metric_->Add();
+  if (request_ns_metric_ != nullptr) {
+    request_ns_metric_->Record(obs::Stopwatch::Nanos(watch.start(), end));
+  }
+  options_.telemetry.RecordSpan(
+      "net.request", watch.start(), end,
+      "{\"conn\":" + std::to_string(conn.id) +
+          ",\"ticket\":" + std::to_string(result.ticket) + "}");
+  return EncodeResolveResultFrame(result);
+}
+
+std::string Server::MetricsJson() const {
+  obs::Registry* registry = options_.metrics_registry;
+  if (registry == nullptr) registry = options_.telemetry.registry();
+  return registry != nullptr ? registry->SnapshotJson() : "{}";
+}
+
+}  // namespace net
+}  // namespace sper

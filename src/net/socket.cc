@@ -1,0 +1,226 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace sper {
+namespace net {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Resolves host to an IPv4 sockaddr_in (numeric fast path, getaddrinfo
+/// otherwise). Port is filled in network byte order.
+Status ResolveIpv4(const std::string& host, std::uint16_t port,
+                   sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1) {
+    return Status::Ok();
+  }
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc = getaddrinfo(host.c_str(), nullptr, &hints, &found);
+  if (rc != 0 || found == nullptr) {
+    if (found != nullptr) freeaddrinfo(found);
+    return Status::InvalidArgument("cannot resolve host '" + host +
+                                   "': " + gai_strerror(rc));
+  }
+  addr->sin_addr =
+      reinterpret_cast<const sockaddr_in*>(found->ai_addr)->sin_addr;
+  freeaddrinfo(found);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Endpoint> ParseEndpoint(std::string_view listen_spec) {
+  const std::size_t colon = listen_spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == listen_spec.size()) {
+    return Status::InvalidArgument(
+        "endpoint must be HOST:PORT, got '" + std::string(listen_spec) +
+        "'");
+  }
+  const std::string_view port_text = listen_spec.substr(colon + 1);
+  unsigned port = 0;
+  const auto [end, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc() || end != port_text.data() + port_text.size() ||
+      port > 65535) {
+    return Status::InvalidArgument(
+        "port must be an integer in [0, 65535], got '" +
+        std::string(port_text) + "'");
+  }
+  Endpoint endpoint;
+  endpoint.host = std::string(listen_spec.substr(0, colon));
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+Result<Socket> ListenTcp(const std::string& host, std::uint16_t port,
+                         int backlog) {
+  sockaddr_in addr;
+  SPER_RETURN_IF_ERROR(ResolveIpv4(host, port, &addr));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    return Status::IoError(ErrnoMessage("socket"));
+  }
+  const int one = 1;
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one)) != 0) {
+    return Status::IoError(ErrnoMessage("setsockopt(SO_REUSEADDR)"));
+  }
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IoError(
+        ErrnoMessage("bind " + host + ":" + std::to_string(port)));
+  }
+  if (::listen(socket.fd(), backlog) != 0) {
+    return Status::IoError(ErrnoMessage("listen"));
+  }
+  // Non-blocking so the acceptor can poll the fd alongside its wake pipe
+  // (accepted connections do not inherit the flag and stay blocking).
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0 ||
+      ::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IoError(ErrnoMessage("fcntl(O_NONBLOCK)"));
+  }
+  return socket;
+}
+
+Result<std::uint16_t> LocalPort(const Socket& socket) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return Status::IoError(ErrnoMessage("getsockname"));
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> ConnectTcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr;
+  SPER_RETURN_IF_ERROR(ResolveIpv4(host, port, &addr));
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    return Status::IoError(ErrnoMessage("socket"));
+  }
+  int rc;
+  do {
+    rc = ::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::IoError(
+        ErrnoMessage("connect " + host + ":" + std::to_string(port)));
+  }
+  const int one = 1;
+  if (::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one)) != 0) {
+    return Status::IoError(ErrnoMessage("setsockopt(TCP_NODELAY)"));
+  }
+  return socket;
+}
+
+Status WriteAll(const Socket& socket, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. kEof only when the peer closed before the
+/// first byte; a close mid-buffer is an error.
+ReadStatus ReadExact(const Socket& socket, char* out, std::size_t n,
+                     Status* error) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(socket.fd(), out + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      *error = Status::IoError(ErrnoMessage("recv"));
+      return ReadStatus::kError;
+    }
+    if (r == 0) {
+      if (got == 0) return ReadStatus::kEof;
+      *error = Status::IoError("peer closed mid-frame (" +
+                               std::to_string(got) + " of " +
+                               std::to_string(n) + " bytes)");
+      return ReadStatus::kError;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return ReadStatus::kFrame;
+}
+
+}  // namespace
+
+ReadStatus ReadFrame(const Socket& socket, std::string* payload,
+                     Status* error) {
+  char prefix[4];
+  const ReadStatus head = ReadExact(socket, prefix, sizeof(prefix), error);
+  if (head != ReadStatus::kFrame) return head;
+  std::uint32_t length = 0;
+  for (int b = 3; b >= 0; --b) {
+    length = (length << 8) | static_cast<std::uint8_t>(prefix[b]);
+  }
+  if (length > kMaxFramePayload) {
+    *error = Status::InvalidArgument(
+        "frame length " + std::to_string(length) + " exceeds the " +
+        std::to_string(kMaxFramePayload) + "-byte payload cap");
+    return ReadStatus::kError;
+  }
+  payload->resize(length);
+  if (length == 0) return ReadStatus::kFrame;
+  const ReadStatus body =
+      ReadExact(socket, payload->data(), length, error);
+  if (body == ReadStatus::kEof) {
+    // Prefix arrived but the body never did: a mid-frame close.
+    *error = Status::IoError("peer closed between frame prefix and body");
+    return ReadStatus::kError;
+  }
+  return body;
+}
+
+Status WriteFrame(const Socket& socket, std::string_view frame) {
+  return WriteAll(socket, frame);
+}
+
+}  // namespace net
+}  // namespace sper

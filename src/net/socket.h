@@ -1,0 +1,107 @@
+#ifndef SPER_NET_SOCKET_H_
+#define SPER_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/status.h"
+
+/// \file socket.h
+/// Minimal POSIX TCP plumbing under the serving protocol: an RAII file
+/// descriptor, listen/connect helpers, and length-prefixed frame I/O
+/// (the transport half of net/wire.h — ReadFrame strips the u32 length
+/// prefix and returns the payload, WriteFrame sends a complete frame).
+///
+/// Everything returns Status/Result instead of throwing, reports errno in
+/// the message, and loops on EINTR. Writes use MSG_NOSIGNAL so a peer
+/// that vanished surfaces as an EPIPE IoError on the calling thread, not
+/// a process-wide SIGPIPE.
+
+namespace sper {
+namespace net {
+
+/// Owning file descriptor (close on destruction). Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes now (idempotent).
+  void Close();
+
+  /// Releases ownership without closing.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A "HOST:PORT" endpoint. Parsed strictly: the port is the digits after
+/// the last ':', in [0, 65535] (0 meaning "ephemeral" is the caller's
+/// convention); a missing ':' or junk in the port is an error.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+Result<Endpoint> ParseEndpoint(std::string_view listen_spec);
+
+/// Binds and listens on host:port (numeric or resolvable IPv4 host; port
+/// 0 binds an ephemeral port — read it back with LocalPort). The socket
+/// is SO_REUSEADDR and non-blocking (the server's acceptor polls it).
+Result<Socket> ListenTcp(const std::string& host, std::uint16_t port,
+                         int backlog);
+
+/// The locally bound port of a listening socket.
+Result<std::uint16_t> LocalPort(const Socket& socket);
+
+/// Connects (blocking) to host:port with TCP_NODELAY set — the protocol
+/// is strict request/response, so Nagle only adds latency.
+Result<Socket> ConnectTcp(const std::string& host, std::uint16_t port);
+
+/// Writes the whole buffer (loops on short writes / EINTR).
+Status WriteAll(const Socket& socket, std::string_view data);
+
+/// One ReadFrame call's result.
+enum class ReadStatus {
+  kFrame,  // *payload holds one complete frame payload
+  kEof,    // the peer closed cleanly at a frame boundary
+  kError,  // transport or framing error; *error says why
+};
+
+/// Reads one length-prefixed frame, returning the payload (length prefix
+/// stripped). A peer close in the middle of a frame — and a length prefix
+/// beyond wire.h's kMaxFramePayload — is kError, not kEof: the stream is
+/// corrupt, not finished.
+ReadStatus ReadFrame(const Socket& socket, std::string* payload,
+                     Status* error);
+
+/// Writes one complete frame (as built by the net/wire.h encoders).
+Status WriteFrame(const Socket& socket, std::string_view frame);
+
+}  // namespace net
+}  // namespace sper
+
+#endif  // SPER_NET_SOCKET_H_

@@ -1,0 +1,310 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace sper {
+namespace net {
+
+namespace {
+
+/// Frame-body field order is part of the protocol (docs/wire_protocol.md);
+/// keep encode and decode in the same order as the spec tables.
+
+/// Outcome and status-code bytes are the C++ enum values; pin the ones the
+/// protocol documents so an enum reorder cannot silently change the wire.
+static_assert(static_cast<std::uint8_t>(ResolveOutcome::kServed) == 0);
+static_assert(static_cast<std::uint8_t>(ResolveOutcome::kDeadlineExpired) == 1);
+static_assert(static_cast<std::uint8_t>(ResolveOutcome::kCancelled) == 2);
+static_assert(static_cast<std::uint8_t>(ResolveOutcome::kShed) == 3);
+static_assert(static_cast<std::uint8_t>(ResolveOutcome::kEvicted) == 4);
+static_assert(static_cast<std::uint8_t>(ResolveOutcome::kRejected) == 5);
+static_assert(static_cast<std::uint8_t>(ResolveOutcome::kFailed) == 6);
+inline constexpr std::uint8_t kMaxOutcomeByte = 6;
+
+static_assert(static_cast<std::uint8_t>(StatusCode::kOk) == 0);
+static_assert(static_cast<std::uint8_t>(StatusCode::kInvalidArgument) == 1);
+static_assert(static_cast<std::uint8_t>(StatusCode::kNotFound) == 2);
+static_assert(static_cast<std::uint8_t>(StatusCode::kIoError) == 3);
+static_assert(static_cast<std::uint8_t>(StatusCode::kFailedPrecondition) == 4);
+static_assert(static_cast<std::uint8_t>(StatusCode::kInternal) == 5);
+static_assert(static_cast<std::uint8_t>(StatusCode::kResourceExhausted) == 6);
+inline constexpr std::uint8_t kMaxStatusCodeByte = 6;
+
+/// ResolveResult flag byte.
+inline constexpr std::uint8_t kFlagStreamExhausted = 1u << 0;
+inline constexpr std::uint8_t kFlagBudgetExhausted = 1u << 1;
+
+/// Builds the final frame from a payload: length prefix + payload.
+std::string FinishFrame(std::string payload) {
+  SPER_CHECK(payload.size() <= kMaxFramePayload);
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  PutU32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+/// Starts a payload: version + type.
+std::string StartPayload(FrameType type) {
+  std::string payload;
+  PutU8(payload, kWireVersion);
+  PutU8(payload, static_cast<std::uint8_t>(type));
+  return payload;
+}
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("wire: " + what);
+}
+
+}  // namespace
+
+void PutU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xffu));
+  }
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xffu));
+  }
+}
+
+void PutF64(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+bool WireReader::ReadU8(std::uint8_t& v) {
+  if (remaining() < 1) return false;
+  v = static_cast<std::uint8_t>(data_[cursor_++]);
+  return true;
+}
+
+bool WireReader::ReadU32(std::uint32_t& v) {
+  if (remaining() < 4) return false;
+  v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(data_[cursor_++]))
+         << shift;
+  }
+  return true;
+}
+
+bool WireReader::ReadU64(std::uint64_t& v) {
+  if (remaining() < 8) return false;
+  v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(data_[cursor_++]))
+         << shift;
+  }
+  return true;
+}
+
+bool WireReader::ReadF64(double& v) {
+  std::uint64_t bits = 0;
+  if (!ReadU64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool WireReader::ReadBytes(std::size_t n, std::string& v) {
+  if (remaining() < n) return false;
+  v.assign(data_.substr(cursor_, n));
+  cursor_ += n;
+  return true;
+}
+
+std::string EncodeResolveRequestFrame(const ResolveRequest& request) {
+  std::string payload = StartPayload(FrameType::kResolveRequest);
+  PutU64(payload, request.budget);
+  PutU64(payload, request.max_batch);
+  PutU64(payload, request.deadline_ms);
+  PutU64(payload, request.client_id);
+  PutU8(payload, static_cast<std::uint8_t>(request.priority));
+  return FinishFrame(std::move(payload));
+}
+
+std::string EncodeResolveResultFrame(const ResolveResult& result) {
+  std::string payload = StartPayload(FrameType::kResolveResult);
+  PutU64(payload, result.ticket);
+  PutU8(payload, static_cast<std::uint8_t>(result.outcome));
+  std::uint8_t flags = 0;
+  if (result.stream_exhausted) flags |= kFlagStreamExhausted;
+  if (result.budget_exhausted) flags |= kFlagBudgetExhausted;
+  PutU8(payload, flags);
+  PutU8(payload, static_cast<std::uint8_t>(result.status.code()));
+  const std::string& message = result.status.message();
+  PutU32(payload, static_cast<std::uint32_t>(message.size()));
+  payload += message;
+  PutU64(payload, result.retry_after_ms);
+  PutU32(payload, static_cast<std::uint32_t>(result.comparisons.size()));
+  for (const Comparison& c : result.comparisons) {
+    PutU32(payload, c.i);
+    PutU32(payload, c.j);
+    PutF64(payload, c.weight);
+  }
+  return FinishFrame(std::move(payload));
+}
+
+std::string EncodeMetricsRequestFrame() {
+  return FinishFrame(StartPayload(FrameType::kMetricsRequest));
+}
+
+std::string EncodeMetricsResultFrame(std::string_view snapshot_json) {
+  std::string payload = StartPayload(FrameType::kMetricsResult);
+  PutU32(payload, static_cast<std::uint32_t>(snapshot_json.size()));
+  payload += snapshot_json;
+  return FinishFrame(std::move(payload));
+}
+
+Result<FrameType> DecodeFrameHeader(std::string_view payload) {
+  WireReader reader(payload);
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  if (!reader.ReadU8(version) || !reader.ReadU8(type)) {
+    return Malformed("payload shorter than the version/type header");
+  }
+  if (version != kWireVersion) {
+    return Malformed("unsupported protocol version " +
+                     std::to_string(version) + " (speak " +
+                     std::to_string(kWireVersion) + ")");
+  }
+  if (type < static_cast<std::uint8_t>(FrameType::kResolveRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kMetricsResult)) {
+    return Malformed("unknown frame type " + std::to_string(type));
+  }
+  return static_cast<FrameType>(type);
+}
+
+Result<ResolveRequest> DecodeResolveRequest(std::string_view payload) {
+  Result<FrameType> type = DecodeFrameHeader(payload);
+  if (!type.ok()) return type.status();
+  if (type.value() != FrameType::kResolveRequest) {
+    return Malformed("expected a resolve-request frame");
+  }
+  WireReader reader(payload.substr(2));
+  ResolveRequest request;
+  std::uint64_t max_batch = 0;
+  std::uint8_t priority = 0;
+  if (!reader.ReadU64(request.budget) || !reader.ReadU64(max_batch) ||
+      !reader.ReadU64(request.deadline_ms) ||
+      !reader.ReadU64(request.client_id) || !reader.ReadU8(priority)) {
+    return Malformed("truncated resolve-request body");
+  }
+  if (reader.remaining() != 0) {
+    return Malformed("trailing bytes after resolve-request body");
+  }
+  if (max_batch > ResolveRequest::kMaxBatch) {
+    // Out-of-range before the size_t narrowing below; ValidateResolveRequest
+    // re-checks, but a 2^63 value must not wrap on 32-bit size_t first.
+    return Malformed("max_batch must be <= " +
+                     std::to_string(ResolveRequest::kMaxBatch) + ", got " +
+                     std::to_string(max_batch));
+  }
+  request.max_batch = static_cast<std::size_t>(max_batch);
+  request.priority = static_cast<Priority>(priority);
+  SPER_RETURN_IF_ERROR(ValidateResolveRequest(request));
+  return request;
+}
+
+Result<ResolveResult> DecodeResolveResult(std::string_view payload) {
+  Result<FrameType> type = DecodeFrameHeader(payload);
+  if (!type.ok()) return type.status();
+  if (type.value() != FrameType::kResolveResult) {
+    return Malformed("expected a resolve-result frame");
+  }
+  WireReader reader(payload.substr(2));
+  ResolveResult result;
+  std::uint8_t outcome = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t status_code = 0;
+  std::uint32_t message_len = 0;
+  if (!reader.ReadU64(result.ticket) || !reader.ReadU8(outcome) ||
+      !reader.ReadU8(flags) || !reader.ReadU8(status_code) ||
+      !reader.ReadU32(message_len)) {
+    return Malformed("truncated resolve-result header");
+  }
+  if (outcome > kMaxOutcomeByte) {
+    return Malformed("unknown outcome byte " + std::to_string(outcome));
+  }
+  if (status_code > kMaxStatusCodeByte) {
+    return Malformed("unknown status code byte " +
+                     std::to_string(status_code));
+  }
+  if (flags & ~(kFlagStreamExhausted | kFlagBudgetExhausted)) {
+    return Malformed("unknown flag bits " + std::to_string(flags));
+  }
+  std::string message;
+  if (!reader.ReadBytes(message_len, message)) {
+    return Malformed("status message length points past the payload");
+  }
+  std::uint32_t count = 0;
+  if (!reader.ReadU64(result.retry_after_ms) || !reader.ReadU32(count)) {
+    return Malformed("truncated resolve-result trailer");
+  }
+  if (reader.remaining() != static_cast<std::size_t>(count) * 16) {
+    return Malformed("comparison count disagrees with the payload size");
+  }
+  result.outcome = static_cast<ResolveOutcome>(outcome);
+  result.stream_exhausted = (flags & kFlagStreamExhausted) != 0;
+  result.budget_exhausted = (flags & kFlagBudgetExhausted) != 0;
+  result.status =
+      Status::FromCode(static_cast<StatusCode>(status_code), std::move(message));
+  result.comparisons.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    Comparison c;
+    if (!reader.ReadU32(c.i) || !reader.ReadU32(c.j) ||
+        !reader.ReadF64(c.weight)) {
+      return Malformed("truncated comparison list");
+    }
+    result.comparisons.push_back(c);
+  }
+  return result;
+}
+
+Result<std::string> DecodeMetricsResult(std::string_view payload) {
+  Result<FrameType> type = DecodeFrameHeader(payload);
+  if (!type.ok()) return type.status();
+  if (type.value() != FrameType::kMetricsResult) {
+    return Malformed("expected a metrics-result frame");
+  }
+  WireReader reader(payload.substr(2));
+  std::uint32_t length = 0;
+  if (!reader.ReadU32(length)) {
+    return Malformed("truncated metrics-result body");
+  }
+  std::string snapshot;
+  if (!reader.ReadBytes(length, snapshot)) {
+    return Malformed("snapshot length points past the payload");
+  }
+  if (reader.remaining() != 0) {
+    return Malformed("trailing bytes after metrics-result body");
+  }
+  return snapshot;
+}
+
+void StreamDigest::Fold(const Comparison& c) {
+  const auto mix = [this](std::uint64_t v) {
+    value ^= v;
+    value *= 1099511628211ull;  // FNV-1a prime
+  };
+  mix(c.i);
+  mix(c.j);
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(c.weight));
+  std::memcpy(&bits, &c.weight, sizeof(bits));
+  mix(bits);
+  ++count;
+}
+
+}  // namespace net
+}  // namespace sper

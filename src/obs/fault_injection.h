@@ -32,6 +32,12 @@
 ///   - "qos.shed"                 one QoS load-shed (rate limit or queue
 ///                                bound), on the requester's thread
 ///   - "qos.evict"                one QoS doomed-request eviction
+///   - "net.accept"               one net::Server accepted connection,
+///                                before its worker thread starts
+///   - "net.read"                 one connection read turn, before the
+///                                request frame is read
+///   - "net.write"                one connection write turn, before the
+///                                response frame is written
 ///
 /// The registry is process-global (seams live in templates and hot loops
 /// that have no injection context to thread a handle through), guarded by

@@ -54,11 +54,40 @@
 //       reported as part of the serving configuration. Also constructs
 //       the --method resolver (default pps) and prints its per-phase
 //       initialization breakdown (per shard when sharded).
+//
+//   sper_cli serve <dataset> --listen=HOST:PORT [--method=NAME] [--seed=N]
+//                  [--scale=S] [--threads=N] [--shards=N] [--lookahead=N]
+//                  [--budget=N] [--client-rate=R] [--max-queue-depth=N]
+//                  [--max-connections=N]
+//       Serve the dataset's resolver over TCP (net/server.h, wire
+//       protocol in docs/wire_protocol.md). Prints "listening on
+//       HOST:PORT" (with the real port when --listen ends in :0) once
+//       accepting, then runs until SIGTERM/SIGINT, which triggers a
+//       graceful drain: stop accepting, flush in-flight responses, join
+//       every connection, Resolver::Drain(). Remote requests pass
+//       through the QoS admission controller (--client-rate and
+//       --max-queue-depth configure it); the kMetricsRequest admin frame
+//       serves the live metrics registry.
+//
+//   sper_cli client --connect=HOST:PORT [--budget=N] [--batch=N]
+//                   [--requests=N] [--deadline-ms=N] [--priority=NAME]
+//                   [--client-id=N] [--metrics]
+//       Drain a served stream over TCP: issue resolve requests (budget
+//       and max_batch per request from --budget/--batch) until the
+//       stream or --requests runs out, honoring the server's
+//       retry_after_ms backoff hints on shed, and print the FNV-1a
+//       stream digest — comparable bit-for-bit against an in-process
+//       drain of the same dataset/method. --metrics instead fetches and
+//       prints the server's metrics snapshot JSON.
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +109,10 @@
 #include "eval/experiment.h"
 #include "eval/table.h"
 #include "io/dataset_io.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
 #include "progressive/workflow.h"
 #include "serving/qos.h"
 
@@ -635,13 +668,247 @@ int CmdInspect(const CliArgs& args) {
   return 0;
 }
 
+/// Self-pipe the SIGTERM/SIGINT handler writes to; CmdServe blocks on the
+/// read end. Only async-signal-safe work happens in the handler.
+int g_stop_pipe[2] = {-1, -1};
+
+extern "C" void HandleStopSignal(int /*signum*/) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = write(g_stop_pipe[1], &byte, 1);
+}
+
+int CmdServe(const CliArgs& args) {
+  RequireKnownOptions(args, {"listen", "method", "seed", "scale", "threads",
+                             "shards", "lookahead", "budget", "client-rate",
+                             "max-queue-depth", "max-connections"});
+  if (args.positional.size() < 2 || !args.options.count("listen")) {
+    std::fprintf(stderr,
+                 "usage: sper_cli serve <dataset> --listen=HOST:PORT "
+                 "[--method=NAME] [--seed=N] [--scale=S] [--threads=N] "
+                 "[--shards=N] [--lookahead=N] [--budget=N] "
+                 "[--client-rate=R] [--max-queue-depth=N] "
+                 "[--max-connections=N]\n");
+    return 2;
+  }
+  Result<net::Endpoint> endpoint =
+      net::ParseEndpoint(args.options.at("listen"));
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "--listen: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  Result<DatasetBundle> dataset =
+      GenerateDataset(args.positional[1], GenOptions(args));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const MethodId method = ParseMethod(OptString(args, "method", "pps"));
+
+  obs::Registry registry;
+  MethodConfig config;
+  config.num_threads = OptThreads(args);
+  config.num_shards = OptShards(args);
+  config.lookahead = OptLookahead(args);
+  config.budget = OptBudget(args);
+  config.telemetry = obs::TelemetryScope(&registry);
+  std::unique_ptr<Resolver> resolver =
+      MakeResolver(method, dataset.value(), config);
+  if (resolver == nullptr) {
+    std::fprintf(stderr, "method %s is not applicable to %s "
+                         "(no schema-based blocking key)\n",
+                 std::string(ToString(method)).c_str(),
+                 dataset.value().name.c_str());
+    return 1;
+  }
+
+  net::ServerOptions server_options;
+  server_options.host = endpoint.value().host;
+  server_options.port = endpoint.value().port;
+  server_options.max_connections =
+      OptUint(args, "max-connections", 64, 0, 1u << 16);
+  server_options.qos.client_rate = OptDouble(args, "client-rate", 0.0);
+  server_options.qos.max_queue_depth =
+      OptUint(args, "max-queue-depth", 256, 0, 1u << 20);
+  server_options.qos.telemetry = config.telemetry;
+  server_options.telemetry = config.telemetry;
+  server_options.metrics_registry = &registry;
+
+  // The stop pipe must exist before the handlers are installed.
+  if (pipe(g_stop_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  Result<std::unique_ptr<net::Server>> server =
+      net::Server::Start(*resolver, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  // The smoke harness and tests wait for this exact line (the real port
+  // matters when --listen ends in :0).
+  std::printf("listening on %s:%u\n", server_options.host.c_str(),
+              static_cast<unsigned>(server.value()->port()));
+  std::printf("serving %s on %s (threads=%zu shards=%zu lookahead=%zu"
+              "%s%s)\n",
+              std::string(ToString(method)).c_str(),
+              dataset.value().name.c_str(), config.num_threads,
+              config.num_shards, config.lookahead,
+              config.budget > 0 ? ", budgeted" : "",
+              server_options.qos.client_rate > 0.0 ? ", rate-limited" : "");
+  std::fflush(stdout);
+
+  char byte = 0;
+  ssize_t got;
+  do {
+    got = read(g_stop_pipe[0], &byte, 1);
+  } while (got < 0 && errno == EINTR);
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.value()->Shutdown();
+  const net::ServerStats stats = server.value()->stats();
+  std::printf("drained: %llu connections (%llu rejected), %llu requests "
+              "served, %llu invalid, %llu/%llu frames in/out, %llu "
+              "protocol errors\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.connections_rejected),
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.requests_rejected),
+              static_cast<unsigned long long>(stats.frames_in),
+              static_cast<unsigned long long>(stats.frames_out),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}
+
+int CmdClient(const CliArgs& args) {
+  RequireKnownOptions(args, {"connect", "budget", "batch", "requests",
+                             "deadline-ms", "priority", "client-id",
+                             "metrics"});
+  if (!args.options.count("connect")) {
+    std::fprintf(stderr,
+                 "usage: sper_cli client --connect=HOST:PORT [--budget=N] "
+                 "[--batch=N] [--requests=N] [--deadline-ms=N] "
+                 "[--priority=NAME] [--client-id=N] [--metrics]\n");
+    return 2;
+  }
+  Result<net::Endpoint> endpoint =
+      net::ParseEndpoint(args.options.at("connect"));
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "--connect: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  Result<net::Client> connected =
+      net::Client::Connect(endpoint.value().host, endpoint.value().port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.status().ToString().c_str());
+    return 1;
+  }
+  net::Client client = std::move(connected).value();
+  if (args.options.count("metrics")) {
+    Result<std::string> snapshot = client.FetchMetricsJson();
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", snapshot.value().c_str());
+    return 0;
+  }
+
+  ResolveRequest request;
+  request.budget = OptUint(args, "budget", 4096, 1,
+                           std::numeric_limits<std::uint64_t>::max());
+  request.max_batch =
+      OptUint(args, "batch", 4096, 1, ResolveRequest::kMaxBatch);
+  request.deadline_ms = OptUint(args, "deadline-ms", 0, 0,
+                                ResolveRequest::kMaxDeadlineMs);
+  request.client_id = OptUint(args, "client-id", 0, 0,
+                              std::numeric_limits<std::uint64_t>::max());
+  if (args.options.count("priority")) {
+    const std::optional<Priority> parsed =
+        ParsePriority(args.options.at("priority"));
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "--priority=%s: unknown class (want interactive, batch, "
+                   "or best_effort)\n",
+                   args.options.at("priority").c_str());
+      return 2;
+    }
+    request.priority = *parsed;
+  }
+  const std::uint64_t max_requests = OptUint(
+      args, "requests", 0, 0, std::numeric_limits<std::uint64_t>::max());
+
+  // A full (un-cut) slice carries min(budget, max_batch) comparisons; a
+  // shorter one means the stream or global budget ran out.
+  const std::uint64_t full_slice =
+      std::min<std::uint64_t>(request.budget, request.max_batch);
+  net::StreamDigest digest;
+  std::uint64_t slices = 0;
+  int empty_streak = 0;
+  for (;;) {
+    if (max_requests > 0 && slices >= max_requests) break;
+    Result<ResolveResult> attempt = client.ResolveWithRetry(request);
+    if (!attempt.ok()) {
+      std::fprintf(stderr, "%s\n", attempt.status().ToString().c_str());
+      return 1;
+    }
+    const ResolveResult& slice = attempt.value();
+    if (slice.outcome == ResolveOutcome::kShed) {
+      // ResolveWithRetry exhausted its retries against a still-shedding
+      // server; surface the hint and give up.
+      std::fprintf(stderr,
+                   "still shedding after retries (retry_after_ms=%llu)\n",
+                   static_cast<unsigned long long>(slice.retry_after_ms));
+      return 1;
+    }
+    if (slice.outcome == ResolveOutcome::kRejected ||
+        slice.outcome == ResolveOutcome::kFailed) {
+      std::fprintf(stderr, "request %s: %s\n",
+                   slice.outcome == ResolveOutcome::kRejected ? "rejected"
+                                                              : "failed",
+                   slice.status.ToString().c_str());
+      return 1;
+    }
+    ++slices;
+    for (const Comparison& c : slice.comparisons) digest.Fold(c);
+    if (slice.deadline_exceeded() || slice.cancelled()) {
+      // A cut slice is partial, not the end: ask again (the stream
+      // continues losslessly) — unless cuts stopped yielding anything.
+      empty_streak = slice.comparisons.empty() ? empty_streak + 1 : 0;
+      if (empty_streak >= 64) break;
+      continue;
+    }
+    empty_streak = 0;
+    if (slice.stream_exhausted || slice.budget_exhausted ||
+        !slice.status.ok() || slice.comparisons.size() < full_slice) {
+      break;
+    }
+  }
+  std::printf("drained %llu comparisons in %llu slices, "
+              "digest=%016llx\n",
+              static_cast<unsigned long long>(digest.count),
+              static_cast<unsigned long long>(slices),
+              static_cast<unsigned long long>(digest.value));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args = Parse(argc, argv);
   if (args.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: sper_cli <list|generate|run|inspect> ...\n");
+                 "usage: sper_cli <list|generate|run|inspect|serve|client>"
+                 " ...\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -649,6 +916,8 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "run") return CmdRun(args);
   if (command == "inspect") return CmdInspect(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "client") return CmdClient(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }
